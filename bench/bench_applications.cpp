@@ -1,0 +1,39 @@
+// E7 + E8: the paper's two motivating applications (dynamic updates and
+// parallel simulation), plus a timing of the update-cost computation.
+#include <benchmark/benchmark.h>
+
+#include "algo/largest_id.hpp"
+#include "bench_common.hpp"
+#include "graph/ids.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+void BM_UpdateCostEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Xoshiro256 rng(9);
+  const auto before = graph::IdAssignment::random(n, rng);
+  const auto after = before.with_swapped(0, static_cast<std::uint32_t>(n / 2));
+  for (auto _ : state) {
+    const auto r0 = algo::largest_id_radii_on_cycle(before);
+    const auto r1 = algo::largest_id_radii_on_cycle(after);
+    std::uint64_t cost = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (r0[v] != r1[v]) cost += r1[v];
+    }
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UpdateCostEvaluation)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avglocal::bench::run(argc, argv,
+                              {avglocal::core::experiment_dynamic_update,
+                               avglocal::core::experiment_parallel_makespan});
+}

@@ -1,0 +1,68 @@
+// E3: 3-colouring at Theta(log* n) under both measures, plus timings of the
+// colouring stack in both formulations.
+#include <benchmark/benchmark.h>
+
+#include "algo/cole_vishkin.hpp"
+#include "algo/local_colouring.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+void BM_ColeVishkinView(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(1);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  for (auto _ : state) {
+    const auto run = local::run_views(g, ids, algo::make_cole_vishkin_view(n));
+    benchmark::DoNotOptimize(run.outputs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColeVishkinView)->RangeMultiplier(4)->Range(256, 1 << 16);
+
+void BM_ColeVishkinMessages(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(2);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  local::EngineOptions options;
+  options.knowledge = local::Knowledge::kKnowsN;
+  for (auto _ : state) {
+    const auto run = local::run_messages(g, ids, algo::make_cole_vishkin_messages(), options);
+    benchmark::DoNotOptimize(run.outputs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColeVishkinMessages)->RangeMultiplier(4)->Range(256, 1 << 13);
+
+void BM_LocalColouringUnknownN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(3);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  local::EngineOptions options;
+  options.max_rounds = 100'000;
+  for (auto _ : state) {
+    const auto run = local::run_messages(g, ids, algo::make_local_three_colouring(), options);
+    benchmark::DoNotOptimize(run.outputs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LocalColouringUnknownN)->RangeMultiplier(4)->Range(256, 1 << 12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avglocal::bench::run(argc, argv, {avglocal::core::experiment_colouring_logstar});
+}

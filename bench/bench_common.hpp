@@ -1,0 +1,31 @@
+// Shared entry-point helper for the bench binaries: print the experiment
+// tables (the reproduction's "figures"), then run google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace avglocal::bench {
+
+/// Renders the given experiments at full scale, then hands control to
+/// google-benchmark. Returns the process exit code.
+inline int run(int argc, char** argv,
+               const std::vector<std::function<core::ExperimentResult(
+                   const core::ExperimentScale&)>>& experiments) {
+  const core::ExperimentScale scale;  // full scale
+  for (const auto& experiment : experiments) {
+    std::cout << core::render(experiment(scale)) << "\n";
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace avglocal::bench

@@ -1,0 +1,56 @@
+// E10: the paper's "further work" - largest-ID beyond the cycle, plus
+// engine timings across graph families.
+#include <benchmark/benchmark.h>
+
+#include "algo/largest_id.hpp"
+#include <cmath>
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+template <typename MakeGraph>
+void run_family(benchmark::State& state, MakeGraph make) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Xoshiro256 rng(4);
+  const graph::Graph g = make(n, rng);
+  const auto ids = graph::IdAssignment::random(g.vertex_count(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_views(g, ids, algo::make_largest_id_view()).radii.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.vertex_count()));
+}
+
+void BM_LargestIdOnPath(benchmark::State& state) {
+  run_family(state, [](std::size_t n, support::Xoshiro256&) { return graph::make_path(n); });
+}
+BENCHMARK(BM_LargestIdOnPath)->RangeMultiplier(4)->Range(256, 1 << 12);
+
+void BM_LargestIdOnTree(benchmark::State& state) {
+  run_family(state,
+             [](std::size_t n, support::Xoshiro256& rng) { return graph::make_random_tree(n, rng); });
+}
+BENCHMARK(BM_LargestIdOnTree)->RangeMultiplier(4)->Range(256, 1 << 12);
+
+void BM_LargestIdOnTorus(benchmark::State& state) {
+  run_family(state, [](std::size_t n, support::Xoshiro256&) {
+    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    return graph::make_torus(side, side);
+  });
+}
+BENCHMARK(BM_LargestIdOnTorus)->RangeMultiplier(4)->Range(256, 1 << 12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avglocal::bench::run(argc, argv,
+                              {avglocal::core::experiment_general_graphs,
+                               avglocal::core::experiment_greedy_colouring});
+}

@@ -1,0 +1,52 @@
+// E4 + E5: Linial neighbourhood-graph chromatic numbers and adversarial
+// permutations, plus timings of the lower-bound machinery.
+#include <benchmark/benchmark.h>
+
+#include "algo/largest_id.hpp"
+#include "analysis/adversary.hpp"
+#include "analysis/chromatic.hpp"
+#include "analysis/neighbourhood_graph.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+void BM_BuildNeighbourhoodGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto g = analysis::build_neighbourhood_graph(n, 1);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_BuildNeighbourhoodGraph)->DenseRange(5, 10, 1);
+
+void BM_ChromaticNumberB1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = analysis::build_neighbourhood_graph(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::chromatic_number(g, 50'000'000));
+  }
+}
+BENCHMARK(BM_ChromaticNumberB1)->DenseRange(5, 8, 1);
+
+void BM_SliceAdversary(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::SliceAdversaryOptions options;
+  options.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::build_slice_adversary(n, algo::make_largest_id_view(), options)
+            .ids()
+            .data());
+  }
+}
+BENCHMARK(BM_SliceAdversary)->RangeMultiplier(2)->Range(64, 512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avglocal::bench::run(argc, argv,
+                              {avglocal::core::experiment_neighbourhood_chi,
+                               avglocal::core::experiment_adversaries});
+}

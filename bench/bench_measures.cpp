@@ -1,0 +1,34 @@
+// E6: exact small-n validation (exhaustive search, pointwise minimality,
+// universe-aware ablation), plus timings of the exhaustive machinery.
+#include <benchmark/benchmark.h>
+
+#include "analysis/exhaustive.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+void BM_ExhaustiveWorstCase(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::exhaustive_worst_largest_id_cycle(n).max_sum);
+  }
+}
+BENCHMARK(BM_ExhaustiveWorstCase)->DenseRange(5, 9, 1);
+
+void BM_MinimalityCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::count_pointwise_minimality_violations(n));
+  }
+}
+BENCHMARK(BM_MinimalityCheck)->DenseRange(4, 6, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avglocal::bench::run(argc, argv,
+                              {avglocal::core::experiment_exact_small_n,
+                               avglocal::core::experiment_expected_complexity});
+}

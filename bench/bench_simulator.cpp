@@ -1,0 +1,118 @@
+// E9: substrate validation and throughput - the two engines and the
+// full-information adapter agree; how fast is each formulation?
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/largest_id.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/full_info.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+/// Prints the engine-agreement table (E9's correctness half).
+void print_equivalence_table() {
+  support::Table table({"n", "seed", "view==message radii", "view==adapter radii",
+                        "outputs agree"});
+  support::Xoshiro256 seed_rng(123);
+  for (const std::size_t n : {6u, 9u, 13u, 17u, 24u}) {
+    const std::uint64_t seed = seed_rng.next();
+    support::Xoshiro256 rng(seed);
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::random(n, rng);
+
+    local::ViewEngineOptions flooding;
+    flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+    const auto views = local::run_views(g, ids, algo::make_largest_id_view(), flooding);
+    const auto native = local::run_messages(g, ids, algo::make_largest_id_messages());
+    const auto adapter = local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+
+    bool radii_native = true, radii_adapter = true, outputs = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      radii_native &= views.radii[v] == native.radii[v];
+      radii_adapter &= views.radii[v] == adapter.radii[v];
+      outputs &= views.outputs[v] == native.outputs[v] &&
+                 views.outputs[v] == adapter.outputs[v];
+    }
+    table.add_row({support::Table::cell(n), support::Table::cell(seed % 1000),
+                   radii_native ? "yes" : "NO", radii_adapter ? "yes" : "NO",
+                   outputs ? "yes" : "NO"});
+  }
+  std::cout << "# [E9] Engine cross-validation\n\n" << table.to_markdown() << "\n";
+}
+
+void BM_ViewEngineInduced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(1);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_views(g, ids, algo::make_largest_id_view()).radii.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ViewEngineInduced)->RangeMultiplier(4)->Range(256, 1 << 14);
+
+void BM_ViewEngineFlooding(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(1);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  local::ViewEngineOptions options;
+  options.semantics = local::ViewSemantics::kFloodingKnowledge;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_views(g, ids, algo::make_largest_id_view(), options).radii.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ViewEngineFlooding)->RangeMultiplier(4)->Range(256, 1 << 14);
+
+void BM_MessageEngine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(1);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_messages(g, ids, algo::make_largest_id_messages()).radii.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MessageEngine)->RangeMultiplier(4)->Range(64, 1 << 10);
+
+void BM_FullInfoAdapter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_cycle(n);
+  support::Xoshiro256 rng(1);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::run_views_by_messages(g, ids, algo::make_largest_id_view()).radii.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullInfoAdapter)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_equivalence_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

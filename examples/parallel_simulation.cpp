@@ -1,0 +1,74 @@
+// The paper's second motivating application: a parallel machine simulating
+// a distributed computation can reassign a worker as soon as a node
+// outputs, so throughput follows the *average* measure, not the worst case.
+//
+// Jobs: one per ring vertex, costing r(v)+1 time units (the rounds until
+// that vertex outputs). Compare list scheduling with worst-case budgeting.
+//
+//   $ ./parallel_simulation [n] [workers] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <queue>
+
+#include "algo/largest_id.hpp"
+#include "graph/ids.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace avglocal;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const std::size_t workers = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  support::Xoshiro256 rng(seed);
+  const graph::IdAssignment ids = graph::IdAssignment::random(n, rng);
+  const auto radii = algo::largest_id_radii_on_cycle(ids);
+
+  std::uint64_t sum = 0, max_r = 0;
+  for (const std::size_t r : radii) {
+    sum += r;
+    max_r = std::max<std::uint64_t>(max_r, r);
+  }
+
+  // List scheduling: each job goes to the least-loaded worker.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>, std::greater<>> loads;
+  for (std::size_t p = 0; p < workers; ++p) loads.push(0);
+  for (const std::size_t r : radii) {
+    const std::uint64_t load = loads.top();
+    loads.pop();
+    loads.push(load + r + 1);
+  }
+  std::uint64_t makespan = 0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+
+  const std::uint64_t lower_bound =
+      std::max<std::uint64_t>((sum + n + workers - 1) / workers, max_r + 1);
+  const std::uint64_t worst_case_budget = ((n + workers - 1) / workers) * (max_r + 1);
+
+  std::cout << "parallel simulation of largest-ID on the " << n << "-ring, " << workers
+            << " workers\n\n";
+  support::Table table({"schedule", "makespan", "vs lower bound"});
+  table.add_row({"theoretical lower bound max(sum/P, max)",
+                 support::Table::cell(lower_bound), "1.00"});
+  table.add_row({"list scheduling by actual r(v)", support::Table::cell(makespan),
+                 support::Table::cell(static_cast<double>(makespan) /
+                                          static_cast<double>(lower_bound),
+                                      2)});
+  table.add_row({"worst-case budgeting (every job = max r)",
+                 support::Table::cell(worst_case_budget),
+                 support::Table::cell(static_cast<double>(worst_case_budget) /
+                                          static_cast<double>(lower_bound),
+                                      2)});
+  std::cout << table.to_text() << "\n";
+  std::cout << "early outputs buy a " << static_cast<double>(worst_case_budget) /
+                                             static_cast<double>(makespan)
+            << "x speedup over worst-case provisioning -\n"
+            << "exactly the ratio max radius / average radius = "
+            << static_cast<double>(max_r) / (static_cast<double>(sum) / static_cast<double>(n))
+            << " predicted by the paper's measure.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "algo/cole_vishkin.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "algo/colour_reduction.hpp"
+#include "local/view.hpp"
+#include "local/wire.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace avglocal::algo {
+
+namespace {
+
+class ColeVishkinMessages final : public local::Algorithm {
+ public:
+  void on_start(local::NodeContext& ctx) override {
+    AVGLOCAL_REQUIRE_MSG(ctx.n().has_value(),
+                         "Cole-Vishkin (known n) requires Knowledge::kKnowsN");
+    AVGLOCAL_REQUIRE_MSG(ctx.degree() == 2, "Cole-Vishkin runs on oriented cycles");
+    const std::size_t n = *ctx.n();
+    t6_ = cv_iterations_to_six(support::bit_width_u64(n));
+    total_rounds_ = cv_schedule_rounds(n);
+    colour_ = ctx.id();
+    broadcast_colour(ctx);
+  }
+
+  void on_round(local::NodeContext& ctx, std::span<const local::Message> inbox) override {
+    std::uint64_t succ = 0, pred = 0;
+    bool have_succ = false, have_pred = false;
+    for (const local::Message& msg : inbox) {
+      local::Decoder d(msg.payload);
+      const std::uint64_t value = d.u64();
+      if (msg.from_port == 0) {
+        succ = value;
+        have_succ = true;
+      } else {
+        pred = value;
+        have_pred = true;
+      }
+    }
+    AVGLOCAL_REQUIRE_MSG(have_succ && have_pred, "Cole-Vishkin expects both neighbours");
+    const std::size_t k = ctx.round();
+    if (k <= static_cast<std::size_t>(t6_)) {
+      colour_ = cv_reduce(colour_, succ);
+    } else {
+      // Elimination rounds t6+1, t6+2, t6+3 clear classes 5, 4, 3.
+      const std::uint64_t cls = 5 - (k - static_cast<std::size_t>(t6_) - 1);
+      if (colour_ == cls) {
+        for (std::uint64_t c = 0; c < 3; ++c) {
+          if (c != pred && c != succ) {
+            colour_ = c;
+            break;
+          }
+        }
+      }
+    }
+    if (k == total_rounds_) {
+      ctx.output(static_cast<std::int64_t>(colour_));
+    } else {
+      broadcast_colour(ctx);
+    }
+  }
+
+ private:
+  void broadcast_colour(local::NodeContext& ctx) {
+    local::Encoder e;
+    e.u64(colour_);
+    ctx.broadcast(e.take());
+  }
+
+  std::uint64_t colour_ = 0;
+  int t6_ = 0;
+  std::size_t total_rounds_ = 0;
+};
+
+class ColeVishkinView final : public local::ViewAlgorithm {
+ public:
+  explicit ColeVishkinView(std::size_t n)
+      : t6_(cv_iterations_to_six(support::bit_width_u64(n))),
+        target_radius_(cv_schedule_rounds(n)) {}
+
+  std::optional<std::int64_t> on_view(const local::BallView& view) override {
+    if (!view.covers_graph && static_cast<std::size_t>(view.radius) < target_radius_) {
+      return std::nullopt;
+    }
+    const auto ring = local::try_extract_ring_view(view);
+    AVGLOCAL_REQUIRE_MSG(ring.has_value(), "Cole-Vishkin requires an oriented cycle");
+    if (ring->closed) {
+      // Small ring: replay the schedule on the whole cycle.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(1 + ring->cw.size());
+      ids.push_back(ring->own);
+      ids.insert(ids.end(), ring->cw.begin(), ring->cw.end());
+      const auto colours = cv_colour_ring(ids, t6_);
+      return static_cast<std::int64_t>(colours[0]);
+    }
+    // Open segment: the final colour of a vertex depends on 3 predecessors
+    // and t6+3 successors; our radius-T ball provides both.
+    AVGLOCAL_REQUIRE(ring->ccw.size() >= 3 &&
+                     ring->cw.size() >= static_cast<std::size_t>(t6_) + 3);
+    std::vector<std::uint64_t> window;
+    window.reserve(7 + static_cast<std::size_t>(t6_));
+    for (std::size_t i = 3; i >= 1; --i) window.push_back(ring->ccw[i - 1]);
+    window.push_back(ring->own);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(t6_) + 3; ++i) {
+      window.push_back(ring->cw[i]);
+    }
+    const SegmentColours colours = cv_colour_segment(window, t6_);
+    return static_cast<std::int64_t>(colours.at(3));  // own position
+  }
+
+ private:
+  int t6_;
+  std::size_t target_radius_;
+};
+
+}  // namespace
+
+local::AlgorithmFactory make_cole_vishkin_messages() {
+  return [] { return std::make_unique<ColeVishkinMessages>(); };
+}
+
+local::ViewAlgorithmFactory make_cole_vishkin_view(std::size_t n) {
+  return [n] { return std::make_unique<ColeVishkinView>(n); };
+}
+
+}  // namespace avglocal::algo

@@ -1,0 +1,31 @@
+// Cole-Vishkin 3-colouring of the oriented ring, knowing n.
+//
+// The classic O(log* n) upper bound the paper cites [1]. All vertices follow
+// the same fixed schedule derived from n (identifiers are a permutation of
+// {1..n}): cv_iterations_to_six(bit_width(n)) bit-reduction rounds, then
+// three class-elimination rounds. Every vertex outputs at the same round
+// T(n) = cv_schedule_rounds(n), so the classic and the average measure
+// coincide at Theta(log* n) - exactly the situation of Section 3 of the
+// paper, whose Theorem 1 shows the average cannot be asymptotically better.
+//
+// Requires the make_cycle port convention (port 0 = clockwise successor).
+#pragma once
+
+#include <cstddef>
+
+#include "local/engine.hpp"
+#include "local/view_engine.hpp"
+
+namespace avglocal::algo {
+
+/// Message-passing implementation; the engine must run with
+/// Knowledge::kKnowsN.
+local::AlgorithmFactory make_cole_vishkin_messages();
+
+/// Ball-formulation implementation: waits for radius T(n) (or a ball that
+/// covers the ring) and locally replays the synchronous schedule to obtain
+/// its own final colour. Needs n as a parameter because view algorithms
+/// carry no engine-provided knowledge of n.
+local::ViewAlgorithmFactory make_cole_vishkin_view(std::size_t n);
+
+}  // namespace avglocal::algo

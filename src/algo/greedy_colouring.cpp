@@ -1,0 +1,143 @@
+#include "algo/greedy_colouring.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "local/wire.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::algo {
+
+namespace {
+
+/// Smallest colour not used by the given neighbour colours.
+std::int64_t smallest_free(std::vector<std::int64_t> used) {
+  std::sort(used.begin(), used.end());
+  std::int64_t colour = 0;
+  for (const std::int64_t c : used) {
+    if (c == colour) ++colour;
+    if (c > colour) break;
+  }
+  return colour;
+}
+
+class GreedyColouringMessages final : public local::Algorithm {
+ public:
+  void on_start(local::NodeContext& ctx) override {
+    nbr_id_.assign(ctx.degree(), 0);
+    nbr_colour_.assign(ctx.degree(), std::nullopt);
+    broadcast_state(ctx);
+  }
+
+  void on_round(local::NodeContext& ctx, std::span<const local::Message> inbox) override {
+    for (const local::Message& msg : inbox) {
+      local::Decoder d(msg.payload);
+      nbr_id_[msg.from_port] = d.u64();
+      if (d.flag()) nbr_colour_[msg.from_port] = d.i64();
+      ids_known_ = true;
+    }
+    if (!ctx.has_output() && ids_known_) {
+      std::vector<std::int64_t> higher_colours;
+      bool ready = true;
+      for (std::size_t port = 0; port < ctx.degree(); ++port) {
+        if (nbr_id_[port] <= ctx.id()) continue;
+        if (!nbr_colour_[port]) {
+          ready = false;
+          break;
+        }
+        higher_colours.push_back(*nbr_colour_[port]);
+      }
+      if (ready) {
+        colour_ = smallest_free(std::move(higher_colours));
+        ctx.output(*colour_);
+      }
+    }
+    broadcast_state(ctx);
+  }
+
+ private:
+  void broadcast_state(local::NodeContext& ctx) {
+    local::Encoder e;
+    e.u64(ctx.id()).flag(colour_.has_value()).i64(colour_.value_or(0));
+    ctx.broadcast(e.take());
+  }
+
+  std::vector<std::uint64_t> nbr_id_;
+  std::vector<std::optional<std::int64_t>> nbr_colour_;
+  std::optional<std::int64_t> colour_;
+  bool ids_known_ = false;
+};
+
+class GreedyColouringView final : public local::ViewAlgorithm {
+ public:
+  std::optional<std::int64_t> on_view(const local::BallView& view) override {
+    // Replay the greedy order inside the ball: a vertex is *determined* when
+    // all its ports are resolved and every higher-identifier neighbour is
+    // determined. Processing in decreasing identifier order needs one pass.
+    const std::size_t size = view.size();
+    std::vector<std::size_t> order(size);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&view](std::size_t a, std::size_t b) {
+      return view.ids[a] > view.ids[b];
+    });
+    std::vector<std::optional<std::int64_t>> colour(size);
+    for (const std::size_t u : order) {
+      bool resolved = true;
+      std::vector<std::int64_t> higher_colours;
+      for (const auto target : view.ports[u]) {
+        if (target == local::kUnknownTarget) {
+          resolved = false;
+          break;
+        }
+        if (view.ids[target] > view.ids[u]) {
+          if (!colour[target]) {
+            resolved = false;
+            break;
+          }
+          higher_colours.push_back(*colour[target]);
+        }
+      }
+      if (resolved) colour[u] = smallest_free(std::move(higher_colours));
+    }
+    return colour[0];  // the root's colour, if determined
+  }
+};
+
+}  // namespace
+
+local::AlgorithmFactory make_greedy_colouring_messages() {
+  return [] { return std::make_unique<GreedyColouringMessages>(); };
+}
+
+local::ViewAlgorithmFactory make_greedy_colouring_view() {
+  return [] { return std::make_unique<GreedyColouringView>(); };
+}
+
+std::vector<std::size_t> greedy_colouring_radii(const graph::Graph& g,
+                                                const graph::IdAssignment& ids) {
+  AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  const std::size_t n = g.vertex_count();
+  // L(v) = longest strictly-increasing identifier path from v, by dynamic
+  // programming over vertices in decreasing identifier order.
+  std::vector<graph::Vertex> order(n);
+  std::iota(order.begin(), order.end(), graph::Vertex{0});
+  std::sort(order.begin(), order.end(), [&ids](graph::Vertex a, graph::Vertex b) {
+    return ids.id_of(a) > ids.id_of(b);
+  });
+  std::vector<std::size_t> longest(n, 0);
+  for (const graph::Vertex v : order) {
+    for (const graph::Vertex u : g.neighbours(v)) {
+      if (ids.id_of(u) > ids.id_of(v)) {
+        longest[v] = std::max(longest[v], longest[u] + 1);
+      }
+    }
+  }
+  // A vertex must at least learn its neighbours' identifiers: one round.
+  std::vector<std::size_t> radii(n);
+  for (graph::Vertex v = 0; v < n; ++v) radii[v] = longest[v] + 1;
+  return radii;
+}
+
+}  // namespace avglocal::algo

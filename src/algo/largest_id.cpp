@@ -1,0 +1,170 @@
+#include "algo/largest_id.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+
+#include "graph/properties.hpp"
+#include "local/view.hpp"
+#include "local/wire.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace avglocal::algo {
+
+namespace {
+
+/// Scans only identifiers appended since the previous call: the engine grows
+/// views append-only, so each vertex costs O(final ball size) in total.
+class LargestIdView final : public local::ViewAlgorithm {
+ public:
+  std::optional<std::int64_t> on_view(const local::BallView& view) override {
+    for (; scanned_ < view.size(); ++scanned_) {
+      if (view.ids[scanned_] > view.root_id()) return kNo;
+    }
+    if (view.covers_graph) return kYes;
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t scanned_ = 0;
+};
+
+class LargestIdUniverseAwareView final : public local::ViewAlgorithm {
+ public:
+  std::optional<std::int64_t> on_view(const local::BallView& view) override {
+    for (; scanned_ < view.size(); ++scanned_) {
+      if (view.ids[scanned_] > view.root_id()) return kNo;
+    }
+    if (view.covers_graph) return kYes;
+    // Open ball spanning at least x vertices: every completion is strictly
+    // larger, and a permutation universe {1..n'} then contains an
+    // identifier above x.
+    if (view.size() >= view.root_id()) return kNo;
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t scanned_ = 0;
+};
+
+/// Message-passing variant: floods (origin, hops) tokens. See header.
+class LargestIdMessages final : public local::Algorithm {
+ public:
+  void on_start(local::NodeContext& ctx) override {
+    AVGLOCAL_REQUIRE_MSG(ctx.degree() == 2, "message largest-ID runs on cycles");
+    local::Encoder e;
+    e.u64(1).u64(ctx.id()).u64(1);  // one token: (origin=self, hops=1)
+    ctx.broadcast(e.take());
+  }
+
+  void on_round(local::NodeContext& ctx, std::span<const local::Message> inbox) override {
+    // forward[q] collects tokens to relay out of port q this round.
+    std::array<std::vector<std::pair<std::uint64_t, std::uint64_t>>, 2> forward;
+    for (const local::Message& msg : inbox) {
+      local::Decoder d(msg.payload);
+      const std::uint64_t count = d.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t origin = d.u64();
+        const std::uint64_t hops = d.u64();
+        ingest(ctx, origin, hops, msg.from_port);
+        if (origin != ctx.id() && !already_seen_twice(origin)) {
+          forward[1 - msg.from_port].emplace_back(origin, hops + 1);
+        }
+      }
+    }
+    for (std::size_t q = 0; q < 2; ++q) {
+      if (forward[q].empty()) continue;
+      local::Encoder e;
+      e.u64(forward[q].size());
+      for (const auto& [origin, hops] : forward[q]) e.u64(origin).u64(hops);
+      ctx.send(q, e.take());
+    }
+    decide(ctx);
+  }
+
+ private:
+  void ingest(local::NodeContext& ctx, std::uint64_t origin, std::uint64_t hops,
+              std::size_t side) {
+    best_ = std::max(best_, origin);
+    if (origin == ctx.id()) {
+      // Our own token went all the way around: hops == n.
+      n_ = hops;
+      return;
+    }
+    auto& sides = seen_[origin];
+    sides[side] = hops;
+    if (sides[0] && sides[1]) n_ = *sides[0] + *sides[1];
+  }
+
+  bool already_seen_twice(std::uint64_t origin) const {
+    const auto it = seen_.find(origin);
+    return it != seen_.end() && it->second[0].has_value() && it->second[1].has_value();
+  }
+
+  void decide(local::NodeContext& ctx) {
+    if (ctx.has_output()) return;
+    if (best_ > ctx.id()) {
+      ctx.output(kNo);
+    } else if (n_ && seen_.size() + 1 == *n_) {
+      ctx.output(kYes);
+    }
+  }
+
+  std::uint64_t best_ = 0;
+  std::optional<std::size_t> n_;
+  std::map<std::uint64_t, std::array<std::optional<std::uint64_t>, 2>> seen_;
+};
+
+}  // namespace
+
+local::ViewAlgorithmFactory make_largest_id_view() {
+  return [] { return std::make_unique<LargestIdView>(); };
+}
+
+local::ViewAlgorithmFactory make_largest_id_universe_aware_view() {
+  return [] { return std::make_unique<LargestIdUniverseAwareView>(); };
+}
+
+local::AlgorithmFactory make_largest_id_messages() {
+  return [] { return std::make_unique<LargestIdMessages>(); };
+}
+
+std::vector<std::size_t> largest_id_radii_on_cycle(const graph::IdAssignment& ids) {
+  const std::size_t n = ids.size();
+  AVGLOCAL_EXPECTS_MSG(n >= 3, "cycle needs at least 3 vertices");
+  const std::size_t cover_radius = n / 2;  // == ceil((n-1)/2)
+
+  // Distance to the nearest strictly larger identifier in each direction via
+  // a monotonic stack over the doubled sequence (O(n)).
+  std::vector<std::size_t> nearest(n, n);  // n = "none"
+  const auto sweep = [&](bool rightwards) {
+    std::vector<std::size_t> stack;  // positions with decreasing ids
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+      const std::size_t pos = rightwards ? (2 * n - 1 - step) % n : step % n;
+      // Pop smaller-or-equal ids: they found their nearest greater at pos.
+      while (!stack.empty() && ids.id_of(static_cast<graph::Vertex>(stack.back())) <
+                                   ids.id_of(static_cast<graph::Vertex>(pos))) {
+        const std::size_t w = stack.back();
+        stack.pop_back();
+        const std::size_t dist = rightwards ? (w + n - pos) % n : (pos + n - w) % n;
+        if (dist != 0) nearest[w] = std::min(nearest[w], dist);
+      }
+      stack.push_back(pos);
+    }
+  };
+  sweep(false);  // nearest greater scanning forward (distance measured cw)
+  sweep(true);   // and backwards
+  std::vector<std::size_t> radii(n);
+  for (std::size_t v = 0; v < n; ++v) radii[v] = std::min(nearest[v], cover_radius);
+  return radii;
+}
+
+std::uint64_t largest_id_radius_sum_on_cycle(const graph::IdAssignment& ids) {
+  std::uint64_t sum = 0;
+  for (std::size_t r : largest_id_radii_on_cycle(ids)) sum += r;
+  return sum;
+}
+
+}  // namespace avglocal::algo

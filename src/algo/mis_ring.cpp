@@ -1,0 +1,86 @@
+#include "algo/mis_ring.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "algo/colour_reduction.hpp"
+#include "local/view.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace avglocal::algo {
+
+namespace {
+
+/// Greedy class-by-class admission given the 3-colour of a vertex and of
+/// enough context. in(v) for class 0 is immediate; class 1 needs the
+/// neighbours' colours; class 2 needs neighbours' membership, i.e. colours
+/// at distance up to 2.
+bool mis_member(std::uint64_t c_mm, std::uint64_t c_m, std::uint64_t c0, std::uint64_t c_p,
+                std::uint64_t c_pp) {
+  const auto in_class01 = [](std::uint64_t left, std::uint64_t self, std::uint64_t right) {
+    if (self == 0) return true;
+    if (self == 1) return left != 0 && right != 0;
+    return false;  // class 2 handled by the caller
+  };
+  if (c0 == 0) return true;
+  if (c0 == 1) return c_m != 0 && c_p != 0;
+  // Class 2: join iff neither neighbour joined earlier.
+  const bool left_in = in_class01(c_mm, c_m, c0);
+  const bool right_in = in_class01(c0, c_p, c_pp);
+  return !left_in && !right_in;
+}
+
+class MisRingView final : public local::ViewAlgorithm {
+ public:
+  explicit MisRingView(std::size_t n)
+      : t6_(cv_iterations_to_six(support::bit_width_u64(n))),
+        target_radius_(cv_schedule_rounds(n) + 2) {}
+
+  std::optional<std::int64_t> on_view(const local::BallView& view) override {
+    if (!view.covers_graph && static_cast<std::size_t>(view.radius) < target_radius_) {
+      return std::nullopt;
+    }
+    const auto ring = local::try_extract_ring_view(view);
+    AVGLOCAL_REQUIRE_MSG(ring.has_value(), "ring MIS requires an oriented cycle");
+    if (ring->closed) {
+      std::vector<std::uint64_t> ids;
+      ids.reserve(1 + ring->cw.size());
+      ids.push_back(ring->own);
+      ids.insert(ids.end(), ring->cw.begin(), ring->cw.end());
+      const auto colours = cv_colour_ring(ids, t6_);
+      const std::size_t n = colours.size();
+      return mis_member(colours[n - 2], colours[n - 1], colours[0], colours[1], colours[2])
+                 ? 1
+                 : 0;
+    }
+    // Open segment: need final colours at offsets -2..+2, hence identifiers
+    // at offsets [-5, t6+5].
+    AVGLOCAL_REQUIRE(ring->ccw.size() >= 5 &&
+                     ring->cw.size() >= static_cast<std::size_t>(t6_) + 5);
+    std::vector<std::uint64_t> window;
+    window.reserve(11 + static_cast<std::size_t>(t6_));
+    for (std::size_t i = 5; i >= 1; --i) window.push_back(ring->ccw[i - 1]);
+    window.push_back(ring->own);  // window index 5
+    for (std::size_t i = 0; i < static_cast<std::size_t>(t6_) + 5; ++i) {
+      window.push_back(ring->cw[i]);
+    }
+    const SegmentColours colours = cv_colour_segment(window, t6_);
+    return mis_member(colours.at(3), colours.at(4), colours.at(5), colours.at(6),
+                      colours.at(7))
+               ? 1
+               : 0;
+  }
+
+ private:
+  int t6_;
+  std::size_t target_radius_;
+};
+
+}  // namespace
+
+local::ViewAlgorithmFactory make_mis_ring_view(std::size_t n) {
+  return [n] { return std::make_unique<MisRingView>(n); };
+}
+
+}  // namespace avglocal::algo

@@ -1,0 +1,24 @@
+// Maximal independent set on the oriented ring via 3-colouring.
+//
+// The standard reduction the paper's locality toolbox implies: compute the
+// deterministic Cole-Vishkin 3-colouring, then admit colour classes
+// greedily - class 0 joins, class 1 joins unless a neighbour is in, class 2
+// joins unless a neighbour is in. Membership of a vertex is a function of
+// the colours in its distance-2 ball, so the ball formulation needs radius
+// T(n) + 2. All vertices stop at the same radius: like colouring, MIS is a
+// problem where the classic and the average measure coincide at
+// Theta(log* n). Included as an extension exercising the framework beyond
+// the paper's two problems.
+#pragma once
+
+#include <cstddef>
+
+#include "local/view_engine.hpp"
+
+namespace avglocal::algo {
+
+/// Ball-formulation MIS on oriented cycles with IDs in {1..n}; outputs 1
+/// (in the set) or 0.
+local::ViewAlgorithmFactory make_mis_ring_view(std::size_t n);
+
+}  // namespace avglocal::algo

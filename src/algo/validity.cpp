@@ -1,0 +1,44 @@
+#include "algo/validity.hpp"
+
+#include "support/assert.hpp"
+
+namespace avglocal::algo {
+
+bool is_valid_largest_id(const graph::IdAssignment& ids,
+                         const std::vector<std::int64_t>& outputs) {
+  AVGLOCAL_EXPECTS(ids.size() == outputs.size());
+  const graph::Vertex leader = ids.argmax();
+  for (graph::Vertex v = 0; v < outputs.size(); ++v) {
+    const std::int64_t expected = (v == leader) ? 1 : 0;
+    if (outputs[v] != expected) return false;
+  }
+  return true;
+}
+
+bool is_valid_colouring(const graph::Graph& g, const std::vector<std::int64_t>& outputs,
+                        std::int64_t palette) {
+  AVGLOCAL_EXPECTS(g.vertex_count() == outputs.size());
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (outputs[v] < 0 || outputs[v] >= palette) return false;
+    for (graph::Vertex u : g.neighbours(v)) {
+      if (outputs[u] == outputs[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const graph::Graph& g, const std::vector<std::int64_t>& outputs) {
+  AVGLOCAL_EXPECTS(g.vertex_count() == outputs.size());
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (outputs[v] != 0 && outputs[v] != 1) return false;
+    bool has_in_neighbour = false;
+    for (graph::Vertex u : g.neighbours(v)) {
+      if (outputs[u] == 1) has_in_neighbour = true;
+      if (outputs[v] == 1 && outputs[u] == 1) return false;  // not independent
+    }
+    if (outputs[v] == 0 && !has_in_neighbour) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace avglocal::algo

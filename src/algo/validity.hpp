@@ -1,0 +1,24 @@
+// Output validators for the problems studied in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace avglocal::algo {
+
+/// Largest-ID outputs: exactly the vertex holding the maximum identifier
+/// output 1 (Yes), all others 0 (No).
+bool is_valid_largest_id(const graph::IdAssignment& ids, const std::vector<std::int64_t>& outputs);
+
+/// Proper colouring with colours in [0, palette).
+bool is_valid_colouring(const graph::Graph& g, const std::vector<std::int64_t>& outputs,
+                        std::int64_t palette);
+
+/// Outputs are 0/1 and the 1-set is an independent set that is maximal
+/// (every 0-vertex has a 1-neighbour).
+bool is_maximal_independent_set(const graph::Graph& g, const std::vector<std::int64_t>& outputs);
+
+}  // namespace avglocal::algo

@@ -1,0 +1,33 @@
+#include "analysis/a000788.hpp"
+
+namespace avglocal::analysis {
+
+std::uint64_t total_ones_below(std::uint64_t n) {
+  // For bit position j, the pattern of that bit over 0..n-1 consists of
+  // full periods of length 2^(j+1) (each contributing 2^j ones) plus a
+  // partial period contributing max(0, rem - 2^j) ones.
+  std::uint64_t total = 0;
+  for (int j = 0; j < 64; ++j) {
+    const std::uint64_t period = std::uint64_t{1} << (j + 1 < 64 ? j + 1 : 63);
+    if (j + 1 >= 64) {
+      // Bit 63: ones among [2^63, n).
+      if (n > (std::uint64_t{1} << 63)) total += n - (std::uint64_t{1} << 63);
+      break;
+    }
+    const std::uint64_t half = std::uint64_t{1} << j;
+    const std::uint64_t full_periods = n / period;
+    total += full_periods * half;
+    const std::uint64_t rem = n % period;
+    total += rem > half ? rem - half : 0;
+    if (period > n) {
+      // Higher bits can still contribute only if n exceeds them; once the
+      // period exceeds n and the partial term is settled, higher j give 0.
+      if (half >= n) break;
+    }
+  }
+  return total;
+}
+
+std::uint64_t a000788(std::uint64_t n) { return total_ones_below(n + 1); }
+
+}  // namespace avglocal::analysis

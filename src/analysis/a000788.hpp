@@ -1,0 +1,20 @@
+// OEIS A000788: partial sums of binary digit counts.
+//
+//   A000788(n) = sum_{i=0..n} popcount(i)
+//
+// The paper identifies the worst-case radius-sum recurrence a(n) with this
+// sequence (a(n) = A000788(n), verified in tests) and uses its classic
+// Theta(n log n) growth: A000788(n) ~ (n log2 n) / 2.
+#pragma once
+
+#include <cstdint>
+
+namespace avglocal::analysis {
+
+/// Total number of set bits among 0, 1, ..., n-1, in O(log n) time.
+std::uint64_t total_ones_below(std::uint64_t n);
+
+/// A000788(n) = popcount sum over 0..n (inclusive).
+std::uint64_t a000788(std::uint64_t n);
+
+}  // namespace avglocal::analysis

@@ -1,0 +1,121 @@
+#include "analysis/adversary.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace avglocal::analysis {
+
+namespace {
+
+/// Runs the algorithm on a cycle carrying `ids` and returns (radii, result
+/// of max element).
+local::RunResult run_on_cycle(const std::vector<std::uint64_t>& ids,
+                              const local::ViewAlgorithmFactory& factory,
+                              local::ViewSemantics semantics) {
+  const graph::Graph cycle = graph::make_cycle(ids.size());
+  local::ViewEngineOptions options;
+  options.semantics = semantics;
+  return local::run_views(cycle, graph::IdAssignment(ids), factory, options);
+}
+
+}  // namespace
+
+graph::IdAssignment build_slice_adversary(std::size_t n,
+                                          const local::ViewAlgorithmFactory& factory,
+                                          const SliceAdversaryOptions& options) {
+  AVGLOCAL_EXPECTS(n >= 4);
+  AVGLOCAL_EXPECTS(options.probes >= 1);
+  support::Xoshiro256 rng(options.seed);
+
+  std::vector<std::uint64_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i + 1;
+  support::shuffle(pool, rng);
+
+  const std::size_t target_radius =
+      options.slice_radius != 0
+          ? options.slice_radius
+          : static_cast<std::size_t>(support::ceil_log2(std::max<std::uint64_t>(n, 2)));
+
+  std::vector<std::uint64_t> pi;
+  pi.reserve(n);
+  while (pool.size() > n / 2 && pool.size() >= 4 && pool.size() > 2 * target_radius + 1) {
+    const std::size_t m = pool.size();
+    // Probe a few arrangements of the remaining identifiers; keep the one
+    // with the largest single-vertex radius (some vertex always reaches the
+    // closure radius, so best_radius >= target_radius whenever the pool is
+    // large enough).
+    std::vector<std::uint64_t> best_arrangement;
+    std::size_t best_radius = 0;
+    std::size_t best_vertex = 0;
+    for (std::size_t probe = 0; probe < options.probes; ++probe) {
+      std::vector<std::uint64_t> arrangement = pool;
+      support::shuffle(arrangement, rng);
+      const local::RunResult run = run_on_cycle(arrangement, factory, options.semantics);
+      const auto it = std::max_element(run.radii.begin(), run.radii.end());
+      if (best_arrangement.empty() || *it > best_radius) {
+        best_radius = *it;
+        best_vertex = static_cast<std::size_t>(it - run.radii.begin());
+        best_arrangement = std::move(arrangement);
+      }
+    }
+    // Copy the ball slice of radius min(best_radius, r*) around the worst
+    // vertex, in arc order. Truncating at r* keeps slices narrow, as in the
+    // proof; the centre still pays at least the truncated radius under pi.
+    const std::size_t planted = std::min(best_radius, target_radius);
+    const std::size_t span = std::min(2 * planted + 1, m);
+    std::vector<std::uint64_t> slice;
+    slice.reserve(span);
+    const std::size_t start = (best_vertex + m - planted) % m;
+    for (std::size_t i = 0; i < span; ++i) slice.push_back(best_arrangement[(start + i) % m]);
+    pi.insert(pi.end(), slice.begin(), slice.end());
+    // Remove the slice identifiers from the pool.
+    std::vector<std::uint64_t> rest;
+    rest.reserve(m - span);
+    for (std::uint64_t id : pool) {
+      if (std::find(slice.begin(), slice.end(), id) == slice.end()) rest.push_back(id);
+    }
+    pool = std::move(rest);
+    if (span >= m) break;
+  }
+  // Tail: arbitrary order.
+  support::shuffle(pool, rng);
+  pi.insert(pi.end(), pool.begin(), pool.end());
+  AVGLOCAL_ASSERT(pi.size() == n);
+  return graph::IdAssignment(std::move(pi));
+}
+
+graph::IdAssignment hill_climb_adversary(std::size_t n,
+                                         const local::ViewAlgorithmFactory& factory,
+                                         const HillClimbOptions& options) {
+  AVGLOCAL_EXPECTS(n >= 3);
+  support::Xoshiro256 rng(options.seed);
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i + 1;
+  support::shuffle(ids, rng);
+
+  const auto objective = [&](const std::vector<std::uint64_t>& candidate) {
+    return run_on_cycle(candidate, factory, options.semantics).sum_radius();
+  };
+  std::uint64_t best = objective(ids);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const auto i = static_cast<std::size_t>(rng.below(n));
+    const auto j = static_cast<std::size_t>(rng.below(n));
+    if (i == j) continue;
+    std::swap(ids[i], ids[j]);
+    const std::uint64_t value = objective(ids);
+    if (value >= best) {
+      best = value;
+    } else {
+      std::swap(ids[i], ids[j]);  // revert
+    }
+  }
+  return graph::IdAssignment(std::move(ids));
+}
+
+}  // namespace avglocal::analysis

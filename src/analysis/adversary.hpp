@@ -1,0 +1,56 @@
+// Adversarial identifier permutations.
+//
+// Theorem 1's proof builds a bad permutation by *slice concatenation*: find
+// an instance where some vertex needs a large radius, copy the identifier
+// slice of that vertex's ball to the front of the permutation, and repeat on
+// the remaining identifiers until fewer than n/2 remain. Because the slice
+// centre's view inside the copied arc is unchanged, its radius under the
+// built permutation is at least as large as in the source instance; Lemma 3
+// then lifts per-vertex cost to average cost.
+//
+// build_slice_adversary implements that construction generically against
+// any view algorithm (the "vertex with a large radius" oracle is realised
+// by probing random arrangements and picking the worst). The hill climber
+// is an independent, gradient-free adversary used to cross-check.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ids.hpp"
+#include "local/view_engine.hpp"
+
+namespace avglocal::analysis {
+
+struct SliceAdversaryOptions {
+  /// Random arrangements probed per iteration to find a high-radius vertex.
+  std::size_t probes = 4;
+  std::uint64_t seed = 1;
+  local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
+
+  /// Radius of the copied ball slice, the r* of the proof (which uses
+  /// (1/2) log*(n/2) for colouring). 0 = automatic: ceil(log2 n), matching
+  /// the Theta(log n) average of the largest-ID problem. A vertex whose
+  /// source radius reaches r* keeps radius >= r* under the built
+  /// permutation, because its views below r* are copied verbatim.
+  std::size_t slice_radius = 0;
+};
+
+/// Builds an n-vertex cycle permutation by Theorem-1 slice concatenation
+/// against `factory`'s algorithm.
+graph::IdAssignment build_slice_adversary(std::size_t n,
+                                          const local::ViewAlgorithmFactory& factory,
+                                          const SliceAdversaryOptions& options = {});
+
+struct HillClimbOptions {
+  std::size_t iterations = 2000;
+  std::uint64_t seed = 1;
+  local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
+};
+
+/// Random-swap hill climbing maximising the average radius of `factory`'s
+/// algorithm on the n-cycle. Returns the best assignment found.
+graph::IdAssignment hill_climb_adversary(std::size_t n,
+                                         const local::ViewAlgorithmFactory& factory,
+                                         const HillClimbOptions& options = {});
+
+}  // namespace avglocal::analysis

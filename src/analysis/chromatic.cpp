@@ -1,0 +1,169 @@
+#include "analysis/chromatic.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace avglocal::analysis {
+
+std::size_t greedy_chromatic_upper(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<graph::Vertex> order(n);
+  for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&g](graph::Vertex a, graph::Vertex b) { return g.degree(a) > g.degree(b); });
+  std::vector<int> colour(n, -1);
+  std::size_t used = 0;
+  std::vector<bool> taken;
+  for (graph::Vertex v : order) {
+    taken.assign(used + 1, false);
+    for (graph::Vertex u : g.neighbours(v)) {
+      if (colour[u] >= 0 && static_cast<std::size_t>(colour[u]) <= used) {
+        taken[static_cast<std::size_t>(colour[u])] = true;
+      }
+    }
+    std::size_t c = 0;
+    while (c < taken.size() && taken[c]) ++c;
+    colour[v] = static_cast<int>(c);
+    used = std::max(used, c + 1);
+  }
+  return used;
+}
+
+std::size_t greedy_clique_lower(const graph::Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  // Grow a clique greedily from the highest-degree vertex.
+  graph::Vertex seed = 0;
+  for (graph::Vertex v = 1; v < n; ++v) {
+    if (g.degree(v) > g.degree(seed)) seed = v;
+  }
+  std::vector<graph::Vertex> clique{seed};
+  std::vector<graph::Vertex> candidates(g.neighbours(seed).begin(), g.neighbours(seed).end());
+  std::sort(candidates.begin(), candidates.end(),
+            [&g](graph::Vertex a, graph::Vertex b) { return g.degree(a) > g.degree(b); });
+  for (graph::Vertex v : candidates) {
+    bool adjacent_to_all = true;
+    for (graph::Vertex u : clique) {
+      if (!g.has_edge(v, u)) {
+        adjacent_to_all = false;
+        break;
+      }
+    }
+    if (adjacent_to_all) clique.push_back(v);
+  }
+  return clique.size();
+}
+
+namespace {
+
+class DsaturSolver {
+ public:
+  DsaturSolver(const graph::Graph& g, std::size_t k, std::uint64_t budget)
+      : g_(&g), k_(k), budget_(budget), colour_(g.vertex_count(), -1),
+        saturation_(g.vertex_count()), counts_(g.vertex_count()),
+        sat_degree_(g.vertex_count(), 0) {
+    for (auto& s : saturation_) s.assign(k, false);
+    for (auto& c : counts_) c.assign(k, 0);
+  }
+
+  std::optional<bool> solve() { return recurse(0); }
+
+ private:
+  /// nullopt = budget exhausted; otherwise k-colourability of the rest.
+  std::optional<bool> recurse(std::size_t coloured) {
+    if (coloured == g_->vertex_count()) return true;
+    if (budget_ == 0) return std::nullopt;
+    --budget_;
+
+    // DSATUR with fail-fast: a vertex with all k colours saturated is a
+    // dead end; a vertex with k-1 saturated is a forced move - both are
+    // found during the same max-saturation scan (sat_degree_ is maintained
+    // incrementally by assign/unassign).
+    graph::Vertex pick = 0;
+    int best_sat = -1;
+    for (graph::Vertex v = 0; v < g_->vertex_count(); ++v) {
+      if (colour_[v] >= 0) continue;
+      const int sat = sat_degree_[v];
+      if (sat >= static_cast<int>(k_)) return false;  // dead end: prune
+      if (sat > best_sat ||
+          (sat == best_sat && g_->degree(v) > g_->degree(pick))) {
+        best_sat = sat;
+        pick = v;
+      }
+    }
+
+    // Symmetry breaking: allow at most one colour index beyond those used.
+    const std::size_t max_colour = std::min(k_, used_ + 1);
+    for (std::size_t c = 0; c < max_colour; ++c) {
+      if (saturation_[pick][c]) continue;
+      assign(pick, static_cast<int>(c));
+      const std::size_t used_before = used_;
+      used_ = std::max(used_, c + 1);
+      const auto sub = recurse(coloured + 1);
+      used_ = used_before;
+      unassign(pick, static_cast<int>(c));
+      if (!sub.has_value()) return std::nullopt;
+      if (*sub) return true;
+    }
+    return false;
+  }
+
+  void assign(graph::Vertex v, int c) {
+    colour_[v] = c;
+    for (graph::Vertex u : g_->neighbours(v)) counts_push(u, c);
+  }
+
+  void unassign(graph::Vertex v, int c) {
+    colour_[v] = -1;
+    for (graph::Vertex u : g_->neighbours(v)) counts_pop(u, c);
+  }
+
+  void counts_push(graph::Vertex u, int c) {
+    if (counts_[u][static_cast<std::size_t>(c)]++ == 0) {
+      saturation_[u][static_cast<std::size_t>(c)] = true;
+      ++sat_degree_[u];
+    }
+  }
+
+  void counts_pop(graph::Vertex u, int c) {
+    if (--counts_[u][static_cast<std::size_t>(c)] == 0) {
+      saturation_[u][static_cast<std::size_t>(c)] = false;
+      --sat_degree_[u];
+    }
+  }
+
+  const graph::Graph* g_;
+  std::size_t k_;
+  std::uint64_t budget_;
+  std::vector<int> colour_;
+  std::vector<std::vector<bool>> saturation_;
+  std::vector<std::vector<int>> counts_;
+  std::vector<int> sat_degree_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace
+
+std::optional<bool> k_colourable(const graph::Graph& g, std::size_t k,
+                                 std::uint64_t node_budget) {
+  AVGLOCAL_EXPECTS(k >= 1);
+  if (g.vertex_count() == 0) return true;
+  DsaturSolver solver(g, k, node_budget);
+  return solver.solve();
+}
+
+std::optional<std::size_t> chromatic_number(const graph::Graph& g, std::uint64_t node_budget) {
+  if (g.vertex_count() == 0) return 0;
+  const std::size_t lower = std::max<std::size_t>(1, greedy_clique_lower(g));
+  const std::size_t upper = greedy_chromatic_upper(g);
+  for (std::size_t k = lower; k <= upper; ++k) {
+    const auto feasible = k_colourable(g, k, node_budget);
+    if (!feasible.has_value()) return std::nullopt;
+    if (*feasible) return k;
+  }
+  return upper;
+}
+
+}  // namespace avglocal::analysis

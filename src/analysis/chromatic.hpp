@@ -1,0 +1,32 @@
+// Chromatic number computation: greedy upper bound and exact DSATUR-style
+// branch and bound with an explicit search budget.
+//
+// Used on Linial neighbourhood graphs: chi(B_t(n)) <= 3 decides whether t
+// rounds suffice to 3-colour the ring with identifiers from {1..n}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace avglocal::analysis {
+
+/// Largest-first greedy colouring; returns the number of colours used
+/// (an upper bound on chi).
+std::size_t greedy_chromatic_upper(const graph::Graph& g);
+
+/// A clique found greedily (lower bound on chi).
+std::size_t greedy_clique_lower(const graph::Graph& g);
+
+/// Exact k-colourability via DSATUR branch and bound. Returns nullopt when
+/// the node budget is exhausted before a proof either way.
+std::optional<bool> k_colourable(const graph::Graph& g, std::size_t k,
+                                 std::uint64_t node_budget = 10'000'000);
+
+/// Exact chromatic number: searches k upward from the clique lower bound.
+/// Returns nullopt if any k-colourability test exhausts its budget.
+std::optional<std::size_t> chromatic_number(const graph::Graph& g,
+                                            std::uint64_t node_budget = 10'000'000);
+
+}  // namespace avglocal::analysis

@@ -1,0 +1,79 @@
+#include "analysis/exhaustive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/largest_id.hpp"
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::analysis {
+
+namespace {
+
+/// Radius sum of the straightforward algorithm for the arrangement `ids`
+/// (ids[v] = identifier of cycle vertex v), allocation-free inner loop.
+std::uint64_t radius_sum(const std::vector<std::uint64_t>& ids) {
+  const std::size_t n = ids.size();
+  const std::size_t cover = n / 2;  // ceil((n-1)/2)
+  std::uint64_t sum = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t r = cover;
+    for (std::size_t d = 1; d < cover; ++d) {
+      if (ids[(v + d) % n] > ids[v] || ids[(v + n - d) % n] > ids[v]) {
+        r = d;
+        break;
+      }
+    }
+    sum += r;
+  }
+  return sum;
+}
+
+}  // namespace
+
+ExhaustiveCycleResult exhaustive_worst_largest_id_cycle(std::size_t n) {
+  AVGLOCAL_EXPECTS(n >= 3);
+  AVGLOCAL_EXPECTS_MSG(n <= 11, "factorial brute force capped at n = 11");
+  std::vector<std::uint64_t> ids(n);
+  ids[0] = n;
+  std::vector<std::uint64_t> rest(n - 1);
+  std::iota(rest.begin(), rest.end(), std::uint64_t{1});
+
+  ExhaustiveCycleResult result;
+  do {
+    std::copy(rest.begin(), rest.end(), ids.begin() + 1);
+    const std::uint64_t sum = radius_sum(ids);
+    ++result.permutations_checked;
+    if (sum > result.max_sum) {
+      result.max_sum = sum;
+      result.argmax_ids = ids;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return result;
+}
+
+std::uint64_t count_pointwise_minimality_violations(std::size_t n) {
+  AVGLOCAL_EXPECTS(n >= 3);
+  AVGLOCAL_EXPECTS_MSG(n <= 8, "engine-backed brute force capped at n = 8");
+  const graph::Graph cycle = graph::make_cycle(n);
+  std::vector<std::uint64_t> ids(n);
+  ids[0] = n;
+  std::vector<std::uint64_t> rest(n - 1);
+  std::iota(rest.begin(), rest.end(), std::uint64_t{1});
+
+  std::uint64_t violations = 0;
+  do {
+    std::copy(rest.begin(), rest.end(), ids.begin() + 1);
+    const graph::IdAssignment assignment{std::vector<std::uint64_t>(ids)};
+    const local::RunResult run =
+        local::run_views(cycle, assignment, algo::make_largest_id_view());
+    const auto expected = algo::largest_id_radii_on_cycle(assignment);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (run.radii[v] != expected[v]) ++violations;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return violations;
+}
+
+}  // namespace avglocal::analysis

@@ -1,0 +1,30 @@
+// Exhaustive verification at small n: four independent ways to compute the
+// worst-case radius sum must agree (recurrence DP, A000788 closed form,
+// explicit extremal construction, and brute force over all permutations).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ids.hpp"
+#include "local/view_engine.hpp"
+
+namespace avglocal::analysis {
+
+struct ExhaustiveCycleResult {
+  std::uint64_t max_sum = 0;
+  std::vector<std::uint64_t> argmax_ids;  // ids[v] for the worst arrangement
+  std::uint64_t permutations_checked = 0;
+};
+
+/// Brute force over every cyclic arrangement of {1..n} (identifier n pinned
+/// at vertex 0 to quotient rotations) of the largest-ID radius sum.
+/// Cost (n-1)! * O(n); intended for n <= 10.
+ExhaustiveCycleResult exhaustive_worst_largest_id_cycle(std::size_t n);
+
+/// Runs the actual view engine on every arrangement and counts vertices
+/// whose engine radius differs from the information-theoretic minimum
+/// min(dist to larger id, closure radius). Zero means the implementation is
+/// pointwise minimal on every instance of size n. Intended for n <= 7.
+std::uint64_t count_pointwise_minimality_violations(std::size_t n);
+
+}  // namespace avglocal::analysis

@@ -1,0 +1,85 @@
+#include "analysis/neighbourhood_graph.hpp"
+
+#include <map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::analysis {
+
+namespace {
+
+/// Enumerates all injective tuples of length `len` over {1..n} in
+/// lexicographic order, assigning dense indices.
+void enumerate_tuples(std::size_t n, std::size_t len, std::vector<std::uint64_t>& current,
+                      std::vector<bool>& used,
+                      std::map<std::vector<std::uint64_t>, graph::Vertex>& index) {
+  if (current.size() == len) {
+    const auto id = static_cast<graph::Vertex>(index.size());
+    index.emplace(current, id);
+    return;
+  }
+  for (std::uint64_t v = 1; v <= n; ++v) {
+    if (used[v]) continue;
+    used[v] = true;
+    current.push_back(v);
+    enumerate_tuples(n, len, current, used, index);
+    current.pop_back();
+    used[v] = false;
+  }
+}
+
+}  // namespace
+
+std::size_t neighbourhood_graph_size(std::size_t n, int t) {
+  AVGLOCAL_EXPECTS(t >= 0);
+  const std::size_t len = 2 * static_cast<std::size_t>(t) + 1;
+  AVGLOCAL_EXPECTS(n >= len);
+  std::size_t count = 1;
+  for (std::size_t i = 0; i < len; ++i) count *= (n - i);
+  return count;
+}
+
+graph::Graph build_neighbourhood_graph(std::size_t n, int t, std::size_t max_vertices) {
+  AVGLOCAL_EXPECTS(t >= 0);
+  const std::size_t len = 2 * static_cast<std::size_t>(t) + 1;
+  AVGLOCAL_EXPECTS_MSG(n >= len + 1, "need n >= 2t+2 for adjacent views to exist");
+  const std::size_t size = neighbourhood_graph_size(n, t);
+  AVGLOCAL_EXPECTS_MSG(size <= max_vertices, "neighbourhood graph too large");
+
+  std::map<std::vector<std::uint64_t>, graph::Vertex> index;
+  {
+    std::vector<std::uint64_t> current;
+    std::vector<bool> used(n + 1, false);
+    enumerate_tuples(n, len, current, used, index);
+  }
+  AVGLOCAL_ASSERT(index.size() == size);
+
+  graph::GraphBuilder builder(size);
+  for (const auto& [tuple, u] : index) {
+    // Successor views: drop tuple[0], append a fresh identifier d.
+    std::vector<std::uint64_t> shifted(tuple.begin() + 1, tuple.end());
+    shifted.push_back(0);
+    for (std::uint64_t d = 1; d <= n; ++d) {
+      bool clash = false;
+      for (const std::uint64_t x : tuple) {
+        if (x == d) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      shifted.back() = d;
+      const graph::Vertex w = index.at(shifted);
+      // For len >= 2 each unordered pair arises from exactly one shift
+      // direction (a tuple cannot be a shift of its own shift - identifiers
+      // would repeat), so adding is duplicate-free. For len == 1 both
+      // directions enumerate the pair; deduplicate by order.
+      if (len >= 2 || u < w) builder.add_edge(u, w);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace avglocal::analysis

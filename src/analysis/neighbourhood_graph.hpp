@@ -1,0 +1,29 @@
+// Linial's neighbourhood graphs B_t(n) for the directed ring.
+//
+// A t-round algorithm on the oriented ring is exactly a function from
+// radius-t views to outputs. Vertices of B_t(n) are the possible views -
+// (2t+1)-tuples of distinct identifiers from {1..n} - and two views are
+// adjacent when they can occur at consecutive ring vertices (one is the
+// clockwise shift of the other with a fresh identifier appended). A t-round
+// algorithm properly c-colours every long ring iff c >= chi(B_t(n)); Linial
+// proved chi(B_t(n)) = Omega(log^(2t) n), which yields the Omega(log* n)
+// ring-colouring lower bound the paper's Theorem 1 builds on. Here we build
+// B_t(n) explicitly and compute its chromatic number for small n, making
+// the lower-bound machinery concrete and testable.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace avglocal::analysis {
+
+/// Number of vertices of B_t(n): n * (n-1) * ... * (n-2t).
+std::size_t neighbourhood_graph_size(std::size_t n, int t);
+
+/// Builds B_t(n). Requires n >= 2t+2 (views of consecutive vertices must be
+/// realisable) and refuses instances above `max_vertices` (default 200k)
+/// with std::invalid_argument.
+graph::Graph build_neighbourhood_graph(std::size_t n, int t, std::size_t max_vertices = 200'000);
+
+}  // namespace avglocal::analysis

@@ -1,0 +1,19 @@
+#include "core/measure.hpp"
+
+namespace avglocal::core {
+
+Measurement measure(const local::RunResult& run) {
+  Measurement m;
+  m.n = run.radii.size();
+  m.sum_radius = run.sum_radius();
+  m.max_radius = run.max_radius();
+  m.avg_radius = run.average_radius();
+  return m;
+}
+
+double measure_gap(const Measurement& m) {
+  if (m.avg_radius <= 0.0) return 1.0;
+  return static_cast<double>(m.max_radius) / m.avg_radius;
+}
+
+}  // namespace avglocal::core

@@ -1,0 +1,33 @@
+// The paper's two running-time measures, as values computed from runs.
+//
+// For an algorithm A, a graph G and an identifier assignment sigma, the run
+// produces radii r(v). The classic (worst-case) measure of the run is
+// max_v r(v); the paper's average measure is (sum_v r(v)) / n. The
+// complexity of A at size n is the maximum of these quantities over sigma
+// (and over graphs of size n), which the library approaches by explicit
+// adversarial constructions, exhaustive search at small n, and random
+// sampling.
+#pragma once
+
+#include <cstdint>
+
+#include "local/metrics.hpp"
+
+namespace avglocal::core {
+
+/// Both measures of one run.
+struct Measurement {
+  std::size_t n = 0;
+  std::uint64_t sum_radius = 0;
+  std::size_t max_radius = 0;
+  double avg_radius = 0.0;
+};
+
+/// Extracts the measures from a run result.
+Measurement measure(const local::RunResult& run);
+
+/// max / avg: the per-run gap between the two measures (>= 1 whenever some
+/// radius is positive).
+double measure_gap(const Measurement& m);
+
+}  // namespace avglocal::core

@@ -1,0 +1,75 @@
+#include "core/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace avglocal::core {
+
+Measurement run_assignment(const graph::Graph& g, const graph::IdAssignment& ids,
+                           const local::ViewAlgorithmFactory& algorithm,
+                           local::ViewSemantics semantics) {
+  local::ViewEngineOptions options;
+  options.semantics = semantics;
+  return measure(local::run_views(g, ids, algorithm, options));
+}
+
+std::vector<SweepPoint> run_random_sweep(const std::vector<std::size_t>& ns,
+                                         const GraphFactory& graphs,
+                                         const local::ViewAlgorithmFactory& algorithm,
+                                         const SweepOptions& options) {
+  AVGLOCAL_EXPECTS(options.trials >= 1);
+  std::size_t workers = options.threads;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(ns.size());
+  for (std::size_t point_index = 0; point_index < ns.size(); ++point_index) {
+    const std::size_t n = ns[point_index];
+    const graph::Graph g = graphs(n);
+    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
+
+    std::vector<Measurement> results(options.trials);
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+      while (true) {
+        const std::size_t trial = next.fetch_add(1);
+        if (trial >= options.trials) return;
+        // Seed derived from (seed, point, trial): deterministic regardless
+        // of which thread runs which trial.
+        support::Xoshiro256 rng(
+            support::derive_seed(options.seed, point_index * 1'000'003 + trial));
+        const graph::IdAssignment ids = graph::IdAssignment::random(n, rng);
+        results[trial] = run_assignment(g, ids, algorithm, options.semantics);
+      }
+    };
+    std::vector<std::thread> threads;
+    const std::size_t spawn = std::min(workers, options.trials);
+    threads.reserve(spawn);
+    for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+
+    support::RunningStats avg_stats;
+    support::RunningStats max_stats;
+    SweepPoint point;
+    point.n = n;
+    point.trials = options.trials;
+    for (const Measurement& m : results) {
+      avg_stats.add(m.avg_radius);
+      max_stats.add(static_cast<double>(m.max_radius));
+      point.max_worst = std::max(point.max_worst, m.max_radius);
+    }
+    point.avg_mean = avg_stats.mean();
+    point.avg_sd = avg_stats.stddev();
+    point.avg_worst = avg_stats.max();
+    point.max_mean = max_stats.mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace avglocal::core

@@ -1,0 +1,51 @@
+// Measurement runners: one-shot adversarial runs and multi-trial random
+// sweeps (parallelised over trials, deterministic per seed regardless of
+// thread schedule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/measure.hpp"
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "local/view_engine.hpp"
+
+namespace avglocal::core {
+
+/// Builds the size-n member of a graph family.
+using GraphFactory = std::function<graph::Graph(std::size_t)>;
+
+/// Runs the view algorithm once on an explicit assignment.
+Measurement run_assignment(const graph::Graph& g, const graph::IdAssignment& ids,
+                           const local::ViewAlgorithmFactory& algorithm,
+                           local::ViewSemantics semantics = local::ViewSemantics::kInducedBall);
+
+/// Aggregate of `trials` random-permutation runs at one size.
+struct SweepPoint {
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  double avg_mean = 0.0;   ///< mean over trials of the per-run average radius
+  double avg_sd = 0.0;     ///< sample sd of the per-run average radius
+  double avg_worst = 0.0;  ///< worst per-run average radius observed
+  double max_mean = 0.0;   ///< mean over trials of the per-run max radius
+  std::size_t max_worst = 0;  ///< worst per-run max radius observed
+};
+
+struct SweepOptions {
+  std::size_t trials = 32;
+  std::uint64_t seed = 42;
+  local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Runs the algorithm on `trials` uniformly random identifier permutations
+/// for each size in `ns` and aggregates both measures.
+std::vector<SweepPoint> run_random_sweep(const std::vector<std::size_t>& ns,
+                                         const GraphFactory& graphs,
+                                         const local::ViewAlgorithmFactory& algorithm,
+                                         const SweepOptions& options = {});
+
+}  // namespace avglocal::core

@@ -1,0 +1,52 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace avglocal::graph {
+
+GraphBuilder::GraphBuilder(std::size_t n) : adjacency_(n) {}
+
+void GraphBuilder::add_arc(Vertex u, Vertex v) {
+  AVGLOCAL_EXPECTS_MSG(u < adjacency_.size() && v < adjacency_.size(), "vertex out of range");
+  AVGLOCAL_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  adjacency_[u].push_back(v);
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  add_arc(u, v);
+  add_arc(v, u);
+}
+
+Graph GraphBuilder::build() const {
+  const std::size_t n = adjacency_.size();
+
+  // Validate: no duplicate arcs, and the arc multiset is symmetric.
+  std::vector<std::pair<Vertex, Vertex>> arcs;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : adjacency_[u]) arcs.emplace_back(u, v);
+  }
+  std::vector<std::pair<Vertex, Vertex>> sorted = arcs;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    AVGLOCAL_EXPECTS_MSG(sorted[i] != sorted[i - 1], "duplicate edge");
+  }
+  for (const auto& [u, v] : sorted) {
+    const bool has_reverse =
+        std::binary_search(sorted.begin(), sorted.end(), std::make_pair(v, u));
+    AVGLOCAL_EXPECTS_MSG(has_reverse, "arc without reverse arc");
+  }
+
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (Vertex u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + adjacency_[u].size();
+  std::vector<Vertex> targets;
+  targets.reserve(offsets[n]);
+  for (Vertex u = 0; u < n; ++u) {
+    targets.insert(targets.end(), adjacency_[u].begin(), adjacency_[u].end());
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace avglocal::graph

@@ -1,0 +1,41 @@
+// Mutable builder producing immutable Graphs with controlled port order.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace avglocal::graph {
+
+/// Accumulates edges and produces a Graph. Port order of a vertex is the
+/// order in which its incident arcs were added.
+///
+/// Two insertion styles:
+///  * add_edge(u, v): appends v to u's ports and u to v's ports;
+///  * add_arc(u, v):  appends v to u's ports only. Generators use arcs to
+///    control port numbering precisely; build() verifies every arc has its
+///    reverse, so the result is always a well-formed undirected graph.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with n vertices (indices 0..n-1).
+  explicit GraphBuilder(std::size_t n);
+
+  /// Adds the undirected edge {u, v}. Throws on self-loops, out-of-range
+  /// vertices or duplicate edges.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Adds the arc u -> v (port on u only). The reverse arc must be added
+  /// separately before build().
+  void add_arc(Vertex u, Vertex v);
+
+  std::size_t vertex_count() const noexcept { return adjacency_.size(); }
+
+  /// Finalises the graph. Throws std::invalid_argument if the arc multiset
+  /// is not symmetric or an edge appears more than once.
+  Graph build() const;
+
+ private:
+  std::vector<std::vector<Vertex>> adjacency_;
+};
+
+}  // namespace avglocal::graph

@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/properties.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::graph {
+
+Graph make_cycle(std::size_t n) {
+  AVGLOCAL_EXPECTS_MSG(n >= 3, "a cycle needs at least 3 vertices");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) {
+    const auto succ = static_cast<Vertex>((i + 1) % n);
+    const auto pred = static_cast<Vertex>((i + n - 1) % n);
+    b.add_arc(i, succ);  // port 0: clockwise successor
+    b.add_arc(i, pred);  // port 1: counter-clockwise predecessor
+  }
+  return b.build();
+}
+
+Graph make_path(std::size_t n) {
+  AVGLOCAL_EXPECTS_MSG(n >= 2, "a path needs at least 2 vertices");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) {
+    if (i + 1 < n) b.add_arc(i, i + 1);  // port 0: right
+    if (i > 0) b.add_arc(i, i - 1);      // port 1 (or 0 for the left endpoint)
+  }
+  return b.build();
+}
+
+Graph make_complete(std::size_t n) {
+  AVGLOCAL_EXPECTS_MSG(n >= 2, "a complete graph needs at least 2 vertices");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = 0; j < n; ++j) {
+      if (i != j) b.add_arc(i, j);
+    }
+  }
+  return b.build();
+}
+
+Graph make_star(std::size_t n) {
+  AVGLOCAL_EXPECTS_MSG(n >= 2, "a star needs at least 2 vertices");
+  GraphBuilder b(n);
+  for (Vertex leaf = 1; leaf < n; ++leaf) {
+    b.add_arc(0, leaf);
+    b.add_arc(leaf, 0);
+  }
+  return b.build();
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  AVGLOCAL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  const auto index = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  GraphBuilder b(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(index(r, c), index(r, c + 1));
+      if (r + 1 < rows) b.add_edge(index(r, c), index(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  AVGLOCAL_EXPECTS_MSG(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+  const auto index = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  GraphBuilder b(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(index(r, c), index(r, (c + 1) % cols));
+      b.add_edge(index(r, c), index((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_kary_tree(std::size_t k, std::size_t levels) {
+  AVGLOCAL_EXPECTS(k >= 1 && levels >= 1);
+  std::size_t n = 0;
+  std::size_t level_size = 1;
+  for (std::size_t l = 0; l < levels; ++l) {
+    n += level_size;
+    level_size *= k;
+  }
+  AVGLOCAL_EXPECTS_MSG(n >= 2, "tree with a single vertex is not a valid network");
+  GraphBuilder b(n);
+  // Children of vertex v are k*v+1 .. k*v+k (heap layout).
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t c = 1; c <= k; ++c) {
+      const std::size_t child = k * static_cast<std::size_t>(v) + c;
+      if (child < n) b.add_edge(v, static_cast<Vertex>(child));
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_tree(std::size_t n, support::Xoshiro256& rng) {
+  AVGLOCAL_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  if (n == 2) {
+    b.add_edge(0, 1);
+    return b.build();
+  }
+  // Pruefer decoding: a uniformly random sequence of length n-2 over [0, n)
+  // decodes to a uniformly random labelled tree.
+  std::vector<std::size_t> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<std::size_t>(rng.below(n));
+  std::vector<std::size_t> remaining_degree(n, 1);
+  for (std::size_t x : pruefer) ++remaining_degree[x];
+  // Min-heap of current leaves.
+  std::vector<std::size_t> leaves;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (remaining_degree[v] == 1) leaves.push_back(v);
+  }
+  std::make_heap(leaves.begin(), leaves.end(), std::greater<>());
+  for (std::size_t x : pruefer) {
+    std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+    const std::size_t leaf = leaves.back();
+    leaves.pop_back();
+    b.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(x));
+    if (--remaining_degree[x] == 1) {
+      leaves.push_back(x);
+      std::push_heap(leaves.begin(), leaves.end(), std::greater<>());
+    }
+  }
+  std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+  const std::size_t a = leaves.back();
+  leaves.pop_back();
+  const std::size_t c = leaves.front();
+  b.add_edge(static_cast<Vertex>(a), static_cast<Vertex>(c));
+  return b.build();
+}
+
+Graph make_gnp_connected(std::size_t n, double p, support::Xoshiro256& rng, int max_attempts) {
+  AVGLOCAL_EXPECTS(n >= 2);
+  AVGLOCAL_EXPECTS(p > 0.0 && p <= 1.0);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    GraphBuilder b(n);
+    for (Vertex i = 0; i < n; ++i) {
+      for (Vertex j = i + 1; j < n; ++j) {
+        if (rng.uniform01() < p) b.add_edge(i, j);
+      }
+    }
+    Graph g = b.build();
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("make_gnp_connected: no connected sample within attempt budget");
+}
+
+Graph make_random_regular(std::size_t n, std::size_t d, support::Xoshiro256& rng,
+                          int max_attempts) {
+  AVGLOCAL_EXPECTS(d >= 1 && d < n);
+  AVGLOCAL_EXPECTS_MSG((n * d) % 2 == 0, "n*d must be even for a d-regular graph");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Configuration model: pair up d stubs per vertex uniformly at random.
+    std::vector<Vertex> stubs;
+    stubs.reserve(n * d);
+    for (Vertex v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    support::shuffle(stubs, rng);
+    bool simple = true;
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      Vertex u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      edges.emplace_back(u, v);
+    }
+    if (!simple) continue;
+    std::sort(edges.begin(), edges.end());
+    if (std::adjacent_find(edges.begin(), edges.end()) != edges.end()) continue;
+    GraphBuilder b(n);
+    for (const auto& [u, v] : edges) b.add_edge(u, v);
+    Graph g = b.build();
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("make_random_regular: no simple connected sample within budget");
+}
+
+}  // namespace avglocal::graph

@@ -1,0 +1,58 @@
+// Graph family generators used by the experiments.
+//
+// All generators return simple connected graphs. Port conventions that
+// algorithms rely on are documented per generator.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace avglocal::graph {
+
+/// The n-cycle (n >= 3), the paper's main topology. Vertices are laid out
+/// clockwise: i is adjacent to (i+1) mod n and (i-1+n) mod n.
+///
+/// Port convention (the "oriented ring" the Cole-Vishkin algorithm needs):
+///   port 0 = clockwise successor  (i+1 mod n)
+///   port 1 = counter-clockwise predecessor (i-1 mod n)
+Graph make_cycle(std::size_t n);
+
+/// The n-vertex path 0 - 1 - ... - n-1 (n >= 2).
+/// Port convention: for interior vertices, port 0 = right neighbour (i+1),
+/// port 1 = left neighbour (i-1); endpoints have the single port 0.
+Graph make_path(std::size_t n);
+
+/// The complete graph on n vertices (n >= 2).
+Graph make_complete(std::size_t n);
+
+/// The star with one centre (vertex 0) and n-1 leaves (n >= 2).
+Graph make_star(std::size_t n);
+
+/// The rows x cols grid (both >= 1, rows*cols >= 2), row-major vertex ids.
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// The rows x cols torus (both >= 3): grid with wrap-around edges.
+Graph make_torus(std::size_t rows, std::size_t cols);
+
+/// Complete rooted k-ary tree with the given number of levels (>= 1);
+/// level 1 is just the root. k >= 1.
+Graph make_kary_tree(std::size_t k, std::size_t levels);
+
+/// A uniformly random labelled tree on n vertices (n >= 1), via a random
+/// Pruefer sequence.
+Graph make_random_tree(std::size_t n, support::Xoshiro256& rng);
+
+/// Erdos-Renyi G(n, p) conditioned on connectivity: samples until the graph
+/// is connected (throws std::runtime_error after max_attempts failures).
+Graph make_gnp_connected(std::size_t n, double p, support::Xoshiro256& rng,
+                         int max_attempts = 100);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/multi-edges and a connectivity check (throws after
+/// max_attempts failures). Requires n*d even, d < n.
+Graph make_random_regular(std::size_t n, std::size_t d, support::Xoshiro256& rng,
+                          int max_attempts = 500);
+
+}  // namespace avglocal::graph

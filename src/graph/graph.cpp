@@ -1,0 +1,13 @@
+#include "graph/graph.hpp"
+
+namespace avglocal::graph {
+
+std::size_t Graph::port_to(Vertex v, Vertex u) const noexcept {
+  const auto nbrs = neighbours(v);
+  for (std::size_t port = 0; port < nbrs.size(); ++port) {
+    if (nbrs[port] == u) return port;
+  }
+  return nbrs.size();
+}
+
+}  // namespace avglocal::graph

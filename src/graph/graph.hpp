@@ -1,0 +1,60 @@
+// Immutable undirected graph in CSR (compressed sparse row) form, with
+// per-vertex port numbering.
+//
+// The LOCAL model communicates over *ports*: a vertex of degree d has ports
+// 0..d-1, one per incident edge, and algorithms address neighbours by port.
+// Port order is the insertion order chosen by the GraphBuilder, which lets
+// generators establish conventions (e.g. on a cycle, port 0 is the clockwise
+// successor and port 1 the counter-clockwise predecessor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace avglocal::graph {
+
+/// Dense vertex index in [0, n). This is the simulator's handle for a
+/// vertex; it is *not* the identifier an algorithm sees (see IdAssignment).
+using Vertex = std::uint32_t;
+
+/// An immutable undirected graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  /// Number of vertices.
+  std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  std::size_t edge_count() const noexcept { return targets_.size() / 2; }
+
+  /// Degree of vertex v.
+  std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbours of v in port order.
+  std::span<const Vertex> neighbours(Vertex v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// The neighbour of v on the given port (0 <= port < degree(v)).
+  Vertex neighbour(Vertex v, std::size_t port) const noexcept {
+    return targets_[offsets_[v] + port];
+  }
+
+  /// The port of v that leads to neighbour u; degree(v) if u is not adjacent.
+  std::size_t port_to(Vertex v, Vertex u) const noexcept;
+
+  /// True when u and v are adjacent.
+  bool has_edge(Vertex u, Vertex v) const noexcept { return port_to(u, v) != degree(u); }
+
+ private:
+  friend class GraphBuilder;
+  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> targets)
+      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Vertex> targets_;       // size 2m, grouped by source vertex
+};
+
+}  // namespace avglocal::graph

@@ -1,0 +1,46 @@
+#include "graph/ids.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace avglocal::graph {
+
+IdAssignment::IdAssignment(std::vector<std::uint64_t> ids) : ids_(std::move(ids)) {
+  AVGLOCAL_EXPECTS_MSG(!ids_.empty(), "empty id assignment");
+  std::vector<std::uint64_t> sorted = ids_;
+  std::sort(sorted.begin(), sorted.end());
+  AVGLOCAL_EXPECTS_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                       "identifiers must be pairwise distinct");
+}
+
+IdAssignment IdAssignment::identity(std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::uint64_t{1});
+  return IdAssignment(std::move(ids));
+}
+
+IdAssignment IdAssignment::reversed(std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t v = 0; v < n; ++v) ids[v] = n - v;
+  return IdAssignment(std::move(ids));
+}
+
+IdAssignment IdAssignment::random(std::size_t n, support::Xoshiro256& rng) {
+  return IdAssignment(support::random_permutation(n, rng));
+}
+
+std::uint32_t IdAssignment::argmax() const noexcept {
+  const auto it = std::max_element(ids_.begin(), ids_.end());
+  return static_cast<std::uint32_t>(it - ids_.begin());
+}
+
+IdAssignment IdAssignment::with_swapped(std::uint32_t u, std::uint32_t v) const {
+  AVGLOCAL_EXPECTS(u < ids_.size() && v < ids_.size());
+  IdAssignment copy = *this;
+  std::swap(copy.ids_[u], copy.ids_[v]);
+  return copy;
+}
+
+}  // namespace avglocal::graph

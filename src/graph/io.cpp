@@ -1,0 +1,52 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    for (Vertex v : g.neighbours(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) throw std::invalid_argument("edge list: missing header");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0, v = 0;
+    if (!(in >> u >> v)) throw std::invalid_argument("edge list: truncated edge section");
+    if (u >= n || v >= n) throw std::invalid_argument("edge list: vertex out of range");
+    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return b.build();
+}
+
+std::string to_dot(const Graph& g, const IdAssignment* ids) {
+  AVGLOCAL_EXPECTS(ids == nullptr || ids->size() == g.vertex_count());
+  std::ostringstream out;
+  out << "graph G {\n";
+  if (ids != nullptr) {
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      out << "  " << v << " [label=\"" << ids->id_of(v) << "\"];\n";
+    }
+  }
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    for (Vertex v : g.neighbours(u)) {
+      if (u < v) out << "  " << u << " -- " << v << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace avglocal::graph

@@ -1,0 +1,24 @@
+// Graph serialization: edge-list text format and Graphviz DOT export.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace avglocal::graph {
+
+/// Writes "n m" on the first line, then one "u v" pair per edge.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses the format produced by write_edge_list. Throws std::invalid_argument
+/// on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Graphviz DOT of g; vertices are labelled with their identifiers when an
+/// assignment is given, otherwise with their indices.
+std::string to_dot(const Graph& g, const IdAssignment* ids = nullptr);
+
+}  // namespace avglocal::graph

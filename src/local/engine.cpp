@@ -1,0 +1,127 @@
+#include "local/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace avglocal::local {
+
+class Engine {
+ public:
+  Engine(const graph::Graph& g, const graph::IdAssignment& ids, const AlgorithmFactory& factory,
+         const EngineOptions& options)
+      : g_(&g), options_(options) {
+    AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+    const std::size_t n = g.vertex_count();
+    contexts_.resize(n);
+    algorithms_.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      contexts_[v].id_ = ids.id_of(v);
+      if (options.knowledge == Knowledge::kKnowsN) contexts_[v].n_ = n;
+      contexts_[v].outbox_.resize(g.degree(v));
+      algorithms_.push_back(factory());
+      AVGLOCAL_REQUIRE_MSG(algorithms_.back() != nullptr, "algorithm factory returned null");
+    }
+    // peer_port_[v][q]: the sender-side port p such that messages queued by
+    // u = neighbour(v, q) on port p arrive at v on port q.
+    peer_port_.resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      peer_port_[v].resize(g.degree(v));
+      for (std::size_t q = 0; q < g.degree(v); ++q) {
+        const graph::Vertex u = g.neighbour(v, q);
+        peer_port_[v][q] = g.port_to(u, v);
+        AVGLOCAL_ASSERT(peer_port_[v][q] < g.degree(u));
+      }
+    }
+  }
+
+  RunResult run() {
+    const std::size_t n = g_->vertex_count();
+    std::size_t outputs_done = 0;
+    RunResult result;
+
+    // Round 0.
+    for (graph::Vertex v = 0; v < n; ++v) {
+      contexts_[v].round_ = 0;
+      algorithms_[v]->on_start(contexts_[v]);
+      if (contexts_[v].has_output()) ++outputs_done;
+    }
+    record_round(0, outputs_done);
+
+    std::size_t round = 0;
+    // in_flight[v] holds the outboxes captured at the end of the previous
+    // round, so deliveries within a round are fully synchronous.
+    std::vector<std::vector<std::optional<Payload>>> in_flight(n);
+    while (outputs_done < n) {
+      ++round;
+      if (round > options_.max_rounds) {
+        throw std::runtime_error("message engine: round cap exceeded");
+      }
+      for (graph::Vertex v = 0; v < n; ++v) {
+        in_flight[v] = std::exchange(contexts_[v].outbox_,
+                                     std::vector<std::optional<Payload>>(g_->degree(v)));
+      }
+      const std::size_t outputs_before = outputs_done;
+      std::vector<Message> inbox;
+      for (graph::Vertex v = 0; v < n; ++v) {
+        inbox.clear();
+        for (std::size_t q = 0; q < g_->degree(v); ++q) {
+          const graph::Vertex u = g_->neighbour(v, q);
+          auto& slot = in_flight[u][peer_port_[v][q]];
+          if (slot.has_value()) {
+            round_messages_ += 1;
+            round_words_ += slot->size();
+            inbox.push_back(Message{q, std::move(*slot)});
+          }
+        }
+        contexts_[v].round_ = round;
+        const bool had_output = contexts_[v].has_output();
+        algorithms_[v]->on_round(contexts_[v], inbox);
+        if (!had_output && contexts_[v].has_output()) ++outputs_done;
+      }
+      record_round(round, outputs_done - outputs_before);
+    }
+
+    result.outputs.resize(n);
+    result.radii.resize(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      result.outputs[v] = contexts_[v].output_value();
+      result.radii[v] = contexts_[v].output_round();
+    }
+    result.rounds = round;
+    result.messages = total_messages_;
+    result.words = total_words_;
+    return result;
+  }
+
+ private:
+  void record_round(std::size_t round, std::size_t outputs_set) {
+    total_messages_ += round_messages_;
+    total_words_ += round_words_;
+    if (options_.trace != nullptr) {
+      options_.trace->record(RoundStats{round, round_messages_, round_words_, outputs_set});
+    }
+    round_messages_ = 0;
+    round_words_ = 0;
+  }
+
+  const graph::Graph* g_;
+  EngineOptions options_;
+  std::vector<NodeContext> contexts_;
+  std::vector<std::unique_ptr<Algorithm>> algorithms_;
+  std::vector<std::vector<std::size_t>> peer_port_;
+  std::uint64_t round_messages_ = 0;
+  std::uint64_t round_words_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_words_ = 0;
+};
+
+RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
+                       const AlgorithmFactory& factory, const EngineOptions& options) {
+  Engine engine(g, ids, factory, options);
+  return engine.run();
+}
+
+}  // namespace avglocal::local

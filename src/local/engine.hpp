@@ -1,0 +1,66 @@
+// The synchronous message-passing engine: the paper's first formulation of
+// the LOCAL model.
+//
+// Processors sit at the vertices of a network, have distinct identifiers and
+// work in rounds: each round every processor sends messages to its direct
+// neighbours, receives theirs, and computes. In the unknown-n variant a node
+// may commit its output at any round yet continues to receive and relay. The
+// engine therefore keeps stepping *all* nodes until every node has output.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "local/message.hpp"
+#include "local/metrics.hpp"
+#include "local/node_context.hpp"
+#include "local/trace.hpp"
+
+namespace avglocal::local {
+
+/// Per-node behaviour in the message-passing formulation. One instance per
+/// node; implementations hold the node's local state.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Round 0: no messages have been exchanged; the node knows only what the
+  /// context exposes. Typically queues the first messages.
+  virtual void on_start(NodeContext& ctx) = 0;
+
+  /// Round k >= 1: inbox holds the messages queued by neighbours in round
+  /// k-1, ordered by receiving port.
+  virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+};
+
+/// Creates one Algorithm instance per node.
+using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
+
+/// Whether nodes are told the network size n (the classic LOCAL setting) or
+/// not (the setting of this paper, following [KSV13]).
+enum class Knowledge {
+  kUnknownN,
+  kKnowsN,
+};
+
+struct EngineOptions {
+  Knowledge knowledge = Knowledge::kUnknownN;
+
+  /// Guard against non-terminating algorithms; exceeding throws
+  /// std::runtime_error.
+  std::size_t max_rounds = 1u << 20;
+
+  /// Optional per-round statistics sink (not owned).
+  Trace* trace = nullptr;
+};
+
+/// Runs the algorithm on every node of g until all nodes have output.
+/// RunResult.radii[v] is the round at which v output, which under full
+/// information equals the radius of the ball v has seen.
+RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
+                       const AlgorithmFactory& factory, const EngineOptions& options = {});
+
+}  // namespace avglocal::local

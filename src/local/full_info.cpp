@@ -1,0 +1,215 @@
+#include "local/full_info.hpp"
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "local/wire.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::local {
+
+namespace {
+
+// Gossiped facts. Existence: (id, degree). Adjacency: (id, port, neighbour).
+constexpr std::uint64_t kExistenceTag = 0;
+constexpr std::uint64_t kAdjacencyTag = 1;
+
+struct KnownVertex {
+  std::uint64_t degree = 0;
+  // port -> neighbour id, from this vertex's own adjacency facts.
+  std::map<std::uint64_t, std::uint64_t> port_facts;
+  // Edges known only from the far side (set of neighbour ids).
+  std::set<std::uint64_t> reverse_edges;
+
+  std::size_t known_edge_count() const {
+    std::size_t count = port_facts.size();
+    for (std::uint64_t nbr : reverse_edges) {
+      bool already = false;
+      for (const auto& [port, target] : port_facts) {
+        if (target == nbr) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) ++count;
+    }
+    return count;
+  }
+};
+
+class FullInfoNode final : public Algorithm {
+ public:
+  explicit FullInfoNode(const ViewAlgorithmFactory& factory) : inner_(factory()) {
+    AVGLOCAL_REQUIRE_MSG(inner_ != nullptr, "view algorithm factory returned null");
+  }
+
+  void on_start(NodeContext& ctx) override {
+    auto& self = known_[ctx.id()];
+    self.degree = ctx.degree();
+    evaluate(ctx);
+    Encoder e;
+    e.u64(1);  // fact count
+    e.u64(kExistenceTag).u64(ctx.id()).u64(ctx.degree());
+    ctx.broadcast(e.take());
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    std::vector<Payload> fresh;
+    for (const Message& msg : inbox) {
+      Decoder d(msg.payload);
+      const std::uint64_t facts = d.u64();
+      for (std::uint64_t i = 0; i < facts; ++i) {
+        const std::uint64_t tag = d.u64();
+        if (tag == kExistenceTag) {
+          const std::uint64_t id = d.u64();
+          const std::uint64_t degree = d.u64();
+          ingest_existence(id, degree, fresh);
+          // Round 1 carries each neighbour's existence fact directly from
+          // that neighbour: this is how the node learns its own port map.
+          if (ctx.round() == 1) {
+            ingest_adjacency(ctx.id(), msg.from_port, id, fresh);
+          }
+        } else {
+          AVGLOCAL_REQUIRE_MSG(tag == kAdjacencyTag, "full-info: unknown fact tag");
+          const std::uint64_t id = d.u64();
+          const std::uint64_t port = d.u64();
+          const std::uint64_t nbr = d.u64();
+          ingest_adjacency(id, port, nbr, fresh);
+        }
+      }
+    }
+    evaluate(ctx);
+    if (!fresh.empty()) {
+      Encoder e;
+      e.u64(fresh.size());
+      Payload out = e.take();
+      for (const Payload& fact : fresh) out.insert(out.end(), fact.begin(), fact.end());
+      ctx.broadcast(out);
+    } else {
+      // Keep the gossip alive so late facts keep flowing: broadcast an empty
+      // fact bundle. (The model allows messages every round; an optimisation
+      // pass could suppress these, at the cost of delivery bookkeeping.)
+      Encoder e;
+      e.u64(0);
+      ctx.broadcast(e.take());
+    }
+  }
+
+ private:
+  void ingest_existence(std::uint64_t id, std::uint64_t degree, std::vector<Payload>& fresh) {
+    auto [it, inserted] = known_.try_emplace(id);
+    if (it->second.degree == 0) it->second.degree = degree;
+    if (inserted || !seen_existence_.contains(id)) {
+      seen_existence_.insert(id);
+      Encoder e;
+      e.u64(kExistenceTag).u64(id).u64(degree);
+      fresh.push_back(e.take());
+    }
+  }
+
+  void ingest_adjacency(std::uint64_t id, std::uint64_t port, std::uint64_t nbr,
+                        std::vector<Payload>& fresh) {
+    if (seen_adjacency_.contains({id, port})) return;
+    seen_adjacency_.insert({id, port});
+    known_[id].port_facts.emplace(port, nbr);
+    known_[nbr].reverse_edges.insert(id);
+    Encoder e;
+    e.u64(kAdjacencyTag).u64(id).u64(port).u64(nbr);
+    fresh.push_back(e.take());
+  }
+
+  /// Rebuilds the radius-round() view from gossiped facts and feeds it to
+  /// the inner view algorithm (if it has not output yet).
+  void evaluate(NodeContext& ctx) {
+    if (ctx.has_output()) return;
+    const BallView view = reconstruct(ctx);
+    if (const auto output = inner_->on_view(view)) ctx.output(*output);
+  }
+
+  BallView reconstruct(NodeContext& ctx) const {
+    BallView view;
+    view.radius = static_cast<int>(ctx.round());
+
+    std::map<std::uint64_t, LocalVertex> local_of;
+    std::vector<std::uint64_t> order;
+    // BFS from the node's own id over known edges. Interior vertices always
+    // have their full port map, so expansion follows exact port order.
+    std::queue<std::uint64_t> queue;
+    local_of[ctx.id()] = 0;
+    order.push_back(ctx.id());
+    view.dist.push_back(0);
+    queue.push(ctx.id());
+    while (!queue.empty()) {
+      const std::uint64_t x = queue.front();
+      queue.pop();
+      const int dx = view.dist[local_of[x]];
+      const auto it = known_.find(x);
+      if (it == known_.end()) continue;
+      for (const auto& [port, nbr] : it->second.port_facts) {
+        if (!local_of.contains(nbr)) {
+          local_of[nbr] = static_cast<LocalVertex>(order.size());
+          order.push_back(nbr);
+          view.dist.push_back(dx + 1);
+          queue.push(nbr);
+        }
+      }
+    }
+
+    view.ids = order;
+    view.ports.resize(order.size());
+    bool all_edges_known = true;
+    for (std::size_t local = 0; local < order.size(); ++local) {
+      const std::uint64_t x = order[local];
+      const KnownVertex& kv = known_.at(x);
+      view.ports[local].assign(kv.degree, kUnknownTarget);
+      // Exact placements from x's own facts.
+      for (const auto& [port, nbr] : kv.port_facts) {
+        const auto nit = local_of.find(nbr);
+        if (nit != local_of.end()) view.ports[local][port] = nit->second;
+      }
+      // Reverse-known edges go into free slots (placement unknown; see
+      // header comment).
+      for (std::uint64_t nbr : kv.reverse_edges) {
+        bool placed = false;
+        for (const auto& [port, target] : kv.port_facts) {
+          if (target == nbr) {
+            placed = true;
+            break;
+          }
+        }
+        if (placed) continue;
+        const auto nit = local_of.find(nbr);
+        if (nit == local_of.end()) continue;
+        for (auto& slot : view.ports[local]) {
+          if (slot == kUnknownTarget) {
+            slot = nit->second;
+            break;
+          }
+        }
+      }
+      if (kv.known_edge_count() != kv.degree) all_edges_known = false;
+    }
+    view.covers_graph = all_edges_known;
+    return view;
+  }
+
+  std::unique_ptr<ViewAlgorithm> inner_;
+  std::map<std::uint64_t, KnownVertex> known_;
+  std::set<std::uint64_t> seen_existence_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_adjacency_;
+};
+
+}  // namespace
+
+RunResult run_views_by_messages(const graph::Graph& g, const graph::IdAssignment& ids,
+                                const ViewAlgorithmFactory& factory,
+                                const EngineOptions& options) {
+  return run_messages(
+      g, ids, [&factory]() { return std::make_unique<FullInfoNode>(factory); }, options);
+}
+
+}  // namespace avglocal::local

@@ -1,0 +1,22 @@
+// Message types for the synchronous message-passing engine.
+//
+// The LOCAL model places no bound on message size; payloads are sequences of
+// 64-bit words (see wire.hpp for structured encoding helpers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace avglocal::local {
+
+/// Message payload: an arbitrary-length sequence of 64-bit words.
+using Payload = std::vector<std::uint64_t>;
+
+/// A message as seen by its receiver.
+struct Message {
+  /// The receiver's port on which the message arrived.
+  std::size_t from_port = 0;
+  Payload payload;
+};
+
+}  // namespace avglocal::local

@@ -1,0 +1,24 @@
+#include "local/metrics.hpp"
+
+#include <algorithm>
+
+namespace avglocal::local {
+
+std::size_t RunResult::max_radius() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t r : radii) best = std::max(best, r);
+  return best;
+}
+
+std::uint64_t RunResult::sum_radius() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t r : radii) sum += r;
+  return sum;
+}
+
+double RunResult::average_radius() const noexcept {
+  if (radii.empty()) return 0.0;
+  return static_cast<double>(sum_radius()) / static_cast<double>(radii.size());
+}
+
+}  // namespace avglocal::local

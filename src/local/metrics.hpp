@@ -1,0 +1,42 @@
+// Run results and the paper's two running-time measures.
+//
+// For a run of an algorithm on a graph with identifiers, r(v) is the radius
+// (equivalently, the round) at which vertex v committed its output. The
+// classic measure is max_v r(v); the paper's measure is avg_v r(v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace avglocal::local {
+
+/// Per-vertex radii r(v) of one run.
+using RadiusProfile = std::vector<std::size_t>;
+
+/// Outcome of one simulation run (either engine).
+struct RunResult {
+  /// outputs[v] = the value vertex v committed.
+  std::vector<std::int64_t> outputs;
+
+  /// radii[v] = r(v): ball radius (view engine) or round number (message
+  /// engine) at which v output.
+  RadiusProfile radii;
+
+  /// Message engine only: total rounds executed until the last output.
+  std::size_t rounds = 0;
+
+  /// Message engine only: total messages and 64-bit words sent.
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+
+  /// max_v r(v) - the classic worst-case measure of this run.
+  std::size_t max_radius() const noexcept;
+
+  /// sum_v r(v).
+  std::uint64_t sum_radius() const noexcept;
+
+  /// avg_v r(v) - the paper's measure of this run.
+  double average_radius() const noexcept;
+};
+
+}  // namespace avglocal::local

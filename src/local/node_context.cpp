@@ -1,0 +1,25 @@
+#include "local/node_context.hpp"
+
+#include <stdexcept>
+
+namespace avglocal::local {
+
+void NodeContext::send(std::size_t port, Payload payload) {
+  if (port >= outbox_.size()) throw std::invalid_argument("send: port out of range");
+  if (outbox_[port].has_value()) {
+    throw std::invalid_argument("send: one message per port per round");
+  }
+  outbox_[port] = std::move(payload);
+}
+
+void NodeContext::broadcast(const Payload& payload) {
+  for (std::size_t port = 0; port < outbox_.size(); ++port) send(port, payload);
+}
+
+void NodeContext::output(std::int64_t value) {
+  if (output_.has_value()) throw std::logic_error("output: node already output");
+  output_ = value;
+  output_round_ = round_;
+}
+
+}  // namespace avglocal::local

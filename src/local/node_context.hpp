@@ -1,0 +1,63 @@
+// Per-node execution context handed to message-passing algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "local/message.hpp"
+
+namespace avglocal::local {
+
+class Engine;
+
+/// What a node may see and do during a round. The context exposes exactly
+/// the knowledge the LOCAL model grants: its own identifier, its degree,
+/// the round number, and - only when the engine runs in knows-n mode - the
+/// network size.
+class NodeContext {
+ public:
+  /// This node's identifier.
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Number of ports (incident edges).
+  std::size_t degree() const noexcept { return outbox_.size(); }
+
+  /// Network size, engaged only in Knowledge::kKnowsN runs.
+  std::optional<std::size_t> n() const noexcept { return n_; }
+
+  /// Current round: 0 during on_start, k during the k-th on_round.
+  std::size_t round() const noexcept { return round_; }
+
+  /// Queues a message on `port` for delivery next round. At most one message
+  /// per port per round; violations throw std::invalid_argument.
+  void send(std::size_t port, Payload payload);
+
+  /// Queues the same payload on every port.
+  void broadcast(const Payload& payload);
+
+  /// Commits this node's output at the current round. A node outputs exactly
+  /// once; a second call throws std::logic_error. Per the unknown-n variant
+  /// of the model, the node keeps receiving rounds (to relay messages) after
+  /// outputting.
+  void output(std::int64_t value);
+
+  bool has_output() const noexcept { return output_.has_value(); }
+
+  std::int64_t output_value() const { return output_.value(); }
+
+  /// Round at which output() was called; only valid once has_output().
+  std::size_t output_round() const { return output_round_; }
+
+ private:
+  friend class Engine;
+
+  std::uint64_t id_ = 0;
+  std::optional<std::size_t> n_;
+  std::size_t round_ = 0;
+  std::vector<std::optional<Payload>> outbox_;
+  std::optional<std::int64_t> output_;
+  std::size_t output_round_ = 0;
+};
+
+}  // namespace avglocal::local

@@ -1,0 +1,3 @@
+#include "local/trace.hpp"
+
+// Trace is header-only today; this TU anchors the library target.

@@ -1,0 +1,31 @@
+// Round-by-round instrumentation of message-engine runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace avglocal::local {
+
+/// Aggregate statistics of one synchronous round.
+struct RoundStats {
+  std::size_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  /// Number of nodes that committed their output during this round.
+  std::size_t outputs_set = 0;
+};
+
+/// Collects RoundStats for every executed round (round 0 = on_start).
+class Trace {
+ public:
+  void record(const RoundStats& stats) { rounds_.push_back(stats); }
+
+  const std::vector<RoundStats>& rounds() const noexcept { return rounds_; }
+
+  void clear() noexcept { rounds_.clear(); }
+
+ private:
+  std::vector<RoundStats> rounds_;
+};
+
+}  // namespace avglocal::local

@@ -1,0 +1,156 @@
+#include "local/view.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace avglocal::local {
+
+bool BallView::contains_id_greater_than(std::uint64_t x) const noexcept {
+  return std::any_of(ids.begin(), ids.end(), [x](std::uint64_t id) { return id > x; });
+}
+
+std::uint64_t BallView::max_id() const noexcept {
+  return *std::max_element(ids.begin(), ids.end());
+}
+
+std::optional<RingView> try_extract_ring_view(const BallView& view) {
+  if (view.size() == 0 || view.degree_of(0) != 2) return std::nullopt;
+
+  // Walks along one direction starting on `first_port` of the root, until an
+  // unknown edge, a non-ring vertex, or wrap-around to the root.
+  struct WalkResult {
+    std::vector<std::uint64_t> ids;
+    bool wrapped = false;
+    bool malformed = false;
+  };
+  const auto walk = [&view](std::size_t first_port) {
+    WalkResult out;
+    LocalVertex prev = 0;
+    LocalVertex cur = view.ports[0][first_port];
+    while (cur != kUnknownTarget && cur != 0) {
+      if (view.degree_of(cur) != 2) {
+        out.malformed = true;
+        return out;
+      }
+      out.ids.push_back(view.ids[cur]);
+      const LocalVertex a = view.ports[cur][0];
+      const LocalVertex b = view.ports[cur][1];
+      LocalVertex next = kUnknownTarget;
+      if (a == prev) {
+        next = b;
+      } else if (b == prev) {
+        next = a;
+      } else {
+        // The edge back to prev is not resolved on cur's side; we cannot
+        // safely pick a forward direction.
+        return out;
+      }
+      prev = cur;
+      cur = next;
+    }
+    out.wrapped = (cur == 0);
+    return out;
+  };
+
+  RingView ring;
+  ring.own = view.root_id();
+  WalkResult cw = walk(0);
+  if (cw.malformed) return std::nullopt;
+  if (cw.wrapped) {
+    // The ball covers the whole cycle: report everything on the clockwise
+    // side so each vertex appears exactly once.
+    ring.cw = std::move(cw.ids);
+    ring.closed = true;
+    return ring;
+  }
+  WalkResult ccw = walk(1);
+  if (ccw.malformed) return std::nullopt;
+  AVGLOCAL_ASSERT(!ccw.wrapped);  // would have wrapped clockwise first
+  ring.cw = std::move(cw.ids);
+  ring.ccw = std::move(ccw.ids);
+  ring.closed = false;
+  return ring;
+}
+
+BallGrower::BallGrower(const graph::Graph& g, const graph::IdAssignment& ids, graph::Vertex root,
+                       ViewSemantics semantics, Scratch& scratch)
+    : g_(&g), ids_(&ids), semantics_(semantics), scratch_(&scratch) {
+  AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  AVGLOCAL_EXPECTS(root < g.vertex_count());
+  AVGLOCAL_EXPECTS_MSG(scratch.local_of_.size() == g.vertex_count(),
+                       "scratch sized for a different graph");
+  add_vertex(root, 0);
+  frontier_.push_back(root);
+  view_.covers_graph = (unresolved_ports_ == 0);
+}
+
+BallGrower::~BallGrower() {
+  for (graph::Vertex v : global_of_) scratch_->local_of_[v] = kUnknownTarget;
+}
+
+LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
+  const auto local = static_cast<LocalVertex>(view_.ids.size());
+  scratch_->local_of_[v] = local;
+  global_of_.push_back(v);
+  view_.ids.push_back(ids_->id_of(v));
+  view_.dist.push_back(dist);
+  view_.ports.emplace_back(g_->degree(v), kUnknownTarget);
+  unresolved_ports_ += g_->degree(v);
+  return local;
+}
+
+void BallGrower::resolve_edge(graph::Vertex a, graph::Vertex b) {
+  const LocalVertex la = scratch_->local_of_[a];
+  const LocalVertex lb = scratch_->local_of_[b];
+  AVGLOCAL_ASSERT(la != kUnknownTarget && lb != kUnknownTarget);
+  const std::size_t pa = g_->port_to(a, b);
+  const std::size_t pb = g_->port_to(b, a);
+  if (view_.ports[la][pa] == kUnknownTarget) {
+    view_.ports[la][pa] = lb;
+    --unresolved_ports_;
+  }
+  if (view_.ports[lb][pb] == kUnknownTarget) {
+    view_.ports[lb][pb] = la;
+    --unresolved_ports_;
+  }
+}
+
+void BallGrower::grow() {
+  ++view_.radius;
+  if (view_.covers_graph) return;
+
+  std::vector<graph::Vertex> next_frontier;
+  if (semantics_ == ViewSemantics::kInducedBall) {
+    // Add the next layer; an edge becomes visible as soon as both endpoints
+    // are in the ball.
+    for (graph::Vertex a : frontier_) {
+      for (graph::Vertex b : g_->neighbours(a)) {
+        if (scratch_->local_of_[b] == kUnknownTarget) {
+          add_vertex(b, view_.radius);
+          next_frontier.push_back(b);
+          for (graph::Vertex c : g_->neighbours(b)) {
+            if (scratch_->local_of_[c] != kUnknownTarget) resolve_edge(b, c);
+          }
+        }
+      }
+    }
+  } else {
+    // Flooding knowledge: growing to radius r+1 reveals the next vertex
+    // layer plus every edge incident to the previous frontier (distance r),
+    // i.e. edges with min endpoint distance <= r.
+    for (graph::Vertex a : frontier_) {
+      for (graph::Vertex b : g_->neighbours(a)) {
+        if (scratch_->local_of_[b] == kUnknownTarget) {
+          add_vertex(b, view_.radius);
+          next_frontier.push_back(b);
+        }
+        resolve_edge(a, b);
+      }
+    }
+  }
+  frontier_ = std::move(next_frontier);
+  view_.covers_graph = (unresolved_ports_ == 0);
+}
+
+}  // namespace avglocal::local

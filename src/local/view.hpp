@@ -1,0 +1,143 @@
+// Ball views: what a vertex knows after looking radius r around itself.
+//
+// The paper's second formulation of the LOCAL model: "every node gathers all
+// the information in a ball around itself and outputs a function of this
+// ball". BallView is that ball, with identifiers, distances, degrees and the
+// visible edges; BallGrower builds it incrementally, radius by radius.
+//
+// Two knowledge semantics are supported:
+//  * kInducedBall (the paper's abstraction): at radius r a vertex sees all
+//    vertices at distance <= r and *all* edges between seen vertices.
+//  * kFloodingKnowledge (what r rounds of message flooding deliver): at
+//    radius r an edge is visible iff one endpoint is at distance <= r-1;
+//    edges between two frontier vertices are not yet known.
+// They differ by at most one radius step and are cross-validated in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+
+namespace avglocal::local {
+
+/// How much of the ball's edge set is visible at radius r (see file header).
+enum class ViewSemantics {
+  kInducedBall,
+  kFloodingKnowledge,
+};
+
+/// Local index of a ball vertex; 0 is always the root.
+using LocalVertex = std::uint32_t;
+
+/// Sentinel for a port whose far end is not (yet) visible.
+inline constexpr LocalVertex kUnknownTarget = static_cast<LocalVertex>(-1);
+
+/// The knowledge of one vertex after exploring radius `radius`.
+///
+/// Vertices are indexed locally in BFS discovery order (root first, then by
+/// non-decreasing distance; within a layer, port order). A vertex's `ports`
+/// entry has one slot per incident edge (its true degree); each slot holds
+/// the local index of the neighbour on that port, or kUnknownTarget when the
+/// edge is not visible at this radius. Degrees are known for every seen
+/// vertex (a vertex's degree is distance-0 information in the LOCAL model).
+struct BallView {
+  int radius = 0;
+
+  /// ids[local] = identifier of the local-th ball vertex; ids[0] = root's.
+  std::vector<std::uint64_t> ids;
+
+  /// dist[local] = distance from the root.
+  std::vector<int> dist;
+
+  /// ports[local][p] = local index behind port p, or kUnknownTarget.
+  std::vector<std::vector<LocalVertex>> ports;
+
+  /// True when the view provably covers the whole graph: every seen vertex
+  /// has all of its edges visible (so no vertex or edge can be missing).
+  /// This is how the maximum-ID vertex of a cycle knows it may stop.
+  bool covers_graph = false;
+
+  std::size_t size() const noexcept { return ids.size(); }
+  std::uint64_t root_id() const noexcept { return ids[0]; }
+  std::size_t degree_of(LocalVertex v) const noexcept { return ports[v].size(); }
+
+  /// True when some visible identifier is strictly greater than `x`.
+  bool contains_id_greater_than(std::uint64_t x) const noexcept;
+
+  /// Largest visible identifier.
+  std::uint64_t max_id() const noexcept;
+};
+
+/// A ball view specialised to (a segment of) an oriented cycle, extracted
+/// from a BallView whose underlying graph uses the make_cycle port
+/// convention (port 0 = clockwise successor, port 1 = predecessor).
+///
+/// cw[k] is the identifier k+1 steps clockwise from the root, ccw[k] the
+/// identifier k+1 steps counter-clockwise. When the ball closes (covers the
+/// cycle), the walks are truncated so each vertex appears exactly once:
+/// cw covers the whole remaining cycle and ccw is empty.
+struct RingView {
+  std::uint64_t own = 0;
+  std::vector<std::uint64_t> cw;
+  std::vector<std::uint64_t> ccw;
+  bool closed = false;
+
+  /// Number of distinct vertices visible (including the root).
+  std::size_t seen_count() const noexcept { return 1 + cw.size() + ccw.size(); }
+};
+
+/// Extracts a RingView from a ball over a cycle-with-oriented-ports graph.
+/// Returns nullopt if the root does not look like a ring vertex (degree 2
+/// with the expected port structure).
+std::optional<RingView> try_extract_ring_view(const BallView& view);
+
+/// Incrementally grows the ball view of `root` one radius step at a time.
+///
+/// The grower needs O(ball) memory per instance plus a caller-provided
+/// scratch array of size n that it borrows while alive; this keeps running
+/// one grower per vertex over a large graph allocation-free.
+class BallGrower {
+ public:
+  /// Scratch state shared by consecutive growers over the same graph.
+  class Scratch {
+   public:
+    explicit Scratch(std::size_t n) : local_of_(n, kUnknownTarget) {}
+
+   private:
+    friend class BallGrower;
+    std::vector<LocalVertex> local_of_;
+  };
+
+  /// Starts a radius-0 view rooted at `root`. `ids` must match `g`.
+  /// The scratch must not be shared by two live growers.
+  BallGrower(const graph::Graph& g, const graph::IdAssignment& ids, graph::Vertex root,
+             ViewSemantics semantics, Scratch& scratch);
+
+  BallGrower(const BallGrower&) = delete;
+  BallGrower& operator=(const BallGrower&) = delete;
+  ~BallGrower();
+
+  const BallView& view() const noexcept { return view_; }
+
+  /// Grows the ball by one radius step. No-op (except the radius counter)
+  /// once the view covers the graph.
+  void grow();
+
+ private:
+  void resolve_edge(graph::Vertex a, graph::Vertex b);
+  LocalVertex add_vertex(graph::Vertex v, int dist);
+
+  const graph::Graph* g_;
+  const graph::IdAssignment* ids_;
+  ViewSemantics semantics_;
+  Scratch* scratch_;
+  BallView view_;
+  std::vector<graph::Vertex> global_of_;  // local -> global vertex
+  std::vector<graph::Vertex> frontier_;   // vertices at distance == radius
+  std::size_t unresolved_ports_ = 0;
+};
+
+}  // namespace avglocal::local

@@ -1,0 +1,59 @@
+#include "local/view_engine.hpp"
+
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace avglocal::local {
+
+namespace {
+
+std::pair<std::int64_t, std::size_t> run_one(const graph::Graph& g,
+                                             const graph::IdAssignment& ids, graph::Vertex v,
+                                             const ViewAlgorithmFactory& factory,
+                                             const ViewEngineOptions& options,
+                                             BallGrower::Scratch& scratch) {
+  const std::size_t cap = options.max_radius == 0 ? g.vertex_count() : options.max_radius;
+  const auto algorithm = factory();
+  AVGLOCAL_REQUIRE_MSG(algorithm != nullptr, "view algorithm factory returned null");
+  BallGrower grower(g, ids, v, options.semantics, scratch);
+  while (true) {
+    if (const auto output = algorithm->on_view(grower.view())) {
+      return {*output, static_cast<std::size_t>(grower.view().radius)};
+    }
+    if (static_cast<std::size_t>(grower.view().radius) >= cap) {
+      throw std::runtime_error("view engine: radius cap exceeded (non-terminating algorithm?)");
+    }
+    grower.grow();
+  }
+}
+
+}  // namespace
+
+RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
+                    const ViewAlgorithmFactory& factory, const ViewEngineOptions& options) {
+  AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  RunResult result;
+  result.outputs.resize(g.vertex_count());
+  result.radii.resize(g.vertex_count());
+  BallGrower::Scratch scratch(g.vertex_count());
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    const auto [output, radius] = run_one(g, ids, v, factory, options, scratch);
+    result.outputs[v] = output;
+    result.radii[v] = radius;
+  }
+  return result;
+}
+
+std::pair<std::int64_t, std::size_t> run_view_on_vertex(const graph::Graph& g,
+                                                        const graph::IdAssignment& ids,
+                                                        graph::Vertex v,
+                                                        const ViewAlgorithmFactory& factory,
+                                                        const ViewEngineOptions& options) {
+  AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  AVGLOCAL_EXPECTS(v < g.vertex_count());
+  BallGrower::Scratch scratch(g.vertex_count());
+  return run_one(g, ids, v, factory, options, scratch);
+}
+
+}  // namespace avglocal::local

@@ -1,0 +1,58 @@
+// The ball/view engine: runs a view-driven algorithm to completion on every
+// vertex and records the radius profile r(v).
+//
+// This engine is the measurement ground truth of the reproduction: r(v) is
+// literally "the radius at which the algorithm chooses to output" from the
+// paper. Vertices are processed independently (the model's nodes do not
+// interact in this formulation; all interaction is captured by the view).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/ids.hpp"
+#include "local/metrics.hpp"
+#include "local/view.hpp"
+
+namespace avglocal::local {
+
+/// Per-vertex behaviour in the ball formulation of the LOCAL model.
+///
+/// The engine calls on_view with the vertex's view at radii 0, 1, 2, ...;
+/// returning a value commits the output and stops the vertex; nullopt grows
+/// the ball by one. Implementations may keep state across calls (one
+/// instance serves one vertex).
+class ViewAlgorithm {
+ public:
+  virtual ~ViewAlgorithm() = default;
+
+  virtual std::optional<std::int64_t> on_view(const BallView& view) = 0;
+};
+
+/// Creates one ViewAlgorithm instance per vertex.
+using ViewAlgorithmFactory = std::function<std::unique_ptr<ViewAlgorithm>()>;
+
+struct ViewEngineOptions {
+  ViewSemantics semantics = ViewSemantics::kInducedBall;
+
+  /// Hard cap on the per-vertex radius; 0 means "number of vertices", which
+  /// no terminating algorithm can exceed (the ball covers the graph well
+  /// before). Exceeding the cap throws std::runtime_error.
+  std::size_t max_radius = 0;
+};
+
+/// Runs the algorithm on every vertex of g and returns outputs and radii.
+RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
+                    const ViewAlgorithmFactory& factory, const ViewEngineOptions& options = {});
+
+/// Runs the algorithm on a single vertex; returns (output, radius).
+std::pair<std::int64_t, std::size_t> run_view_on_vertex(const graph::Graph& g,
+                                                        const graph::IdAssignment& ids,
+                                                        graph::Vertex v,
+                                                        const ViewAlgorithmFactory& factory,
+                                                        const ViewEngineOptions& options = {});
+
+}  // namespace avglocal::local

@@ -1,0 +1,73 @@
+// Structured encoding of message payloads.
+//
+// Algorithms exchange small records (colours, flags, identifier lists);
+// Encoder/Decoder give them a typed, bounds-checked layer over the raw
+// word-sequence Payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "local/message.hpp"
+
+namespace avglocal::local {
+
+/// Appends typed values to a Payload.
+class Encoder {
+ public:
+  Encoder& u64(std::uint64_t v) {
+    words_.push_back(v);
+    return *this;
+  }
+
+  Encoder& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  Encoder& flag(bool v) { return u64(v ? 1 : 0); }
+
+  /// Length-prefixed vector of words.
+  Encoder& u64_vector(std::span<const std::uint64_t> values) {
+    u64(values.size());
+    words_.insert(words_.end(), values.begin(), values.end());
+    return *this;
+  }
+
+  Payload take() { return std::move(words_); }
+
+ private:
+  Payload words_;
+};
+
+/// Reads typed values back out of a Payload; throws std::out_of_range on
+/// truncated input (a malformed message is an algorithm bug worth surfacing).
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint64_t> words) : words_(words) {}
+
+  std::uint64_t u64() {
+    if (pos_ >= words_.size()) throw std::out_of_range("wire: truncated payload");
+    return words_[pos_++];
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  bool flag() { return u64() != 0; }
+
+  std::vector<std::uint64_t> u64_vector() {
+    const std::uint64_t count = u64();
+    if (count > words_.size() - pos_) throw std::out_of_range("wire: truncated vector");
+    std::vector<std::uint64_t> out(words_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                   words_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return out;
+  }
+
+  bool done() const noexcept { return pos_ == words_.size(); }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace avglocal::local

@@ -1,0 +1,52 @@
+// Lightweight contract macros for the avglocal library.
+//
+// AVGLOCAL_EXPECTS  - precondition on public API entry; throws std::invalid_argument.
+// AVGLOCAL_REQUIRE  - general runtime requirement; throws std::logic_error.
+// AVGLOCAL_ASSERT   - internal invariant; aborts in debug, compiled out in NDEBUG.
+//
+// Following the C++ Core Guidelines (I.5/I.6/E.12), broken preconditions on
+// the public surface are reported with exceptions so callers can test the
+// guard paths; internal invariants use assert semantics.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace avglocal::support {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& what) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                              std::to_string(line) + (what.empty() ? "" : (": " + what)));
+}
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file, int line,
+                                           const std::string& what) {
+  throw std::logic_error(std::string("requirement failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (what.empty() ? "" : (": " + what)));
+}
+
+}  // namespace avglocal::support
+
+#define AVGLOCAL_EXPECTS(cond)                                                       \
+  do {                                                                               \
+    if (!(cond)) ::avglocal::support::throw_precondition(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define AVGLOCAL_EXPECTS_MSG(cond, msg)                                                 \
+  do {                                                                                  \
+    if (!(cond)) ::avglocal::support::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define AVGLOCAL_REQUIRE(cond)                                                      \
+  do {                                                                              \
+    if (!(cond)) ::avglocal::support::throw_requirement(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define AVGLOCAL_REQUIRE_MSG(cond, msg)                                                \
+  do {                                                                                 \
+    if (!(cond)) ::avglocal::support::throw_requirement(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define AVGLOCAL_ASSERT(cond) assert(cond)

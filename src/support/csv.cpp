@@ -1,0 +1,27 @@
+#include "support/csv.hpp"
+
+#include <ostream>
+
+namespace avglocal::support {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << csv_escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace avglocal::support

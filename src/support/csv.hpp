@@ -1,0 +1,28 @@
+// Minimal RFC-4180-style CSV writer for exporting experiment series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace avglocal::support {
+
+/// Streams rows of cells as CSV to an std::ostream, quoting cells that
+/// contain separators, quotes or newlines.
+class CsvWriter {
+ public:
+  /// Binds to an output stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; cells are escaped as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Escapes one CSV cell per RFC 4180 (quotes doubled; field quoted when it
+/// contains comma, quote, CR or LF).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace avglocal::support

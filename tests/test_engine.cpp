@@ -1,0 +1,221 @@
+// Tests of the message-passing engine: synchrony, guards, knowledge modes,
+// tracing, and the full-information adapter's equivalence with the ball
+// engine under flooding semantics.
+#include <gtest/gtest.h>
+
+#include "algo/largest_id.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/full_info.hpp"
+#include "local/view_engine.hpp"
+#include "local/wire.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+using local::Message;
+using local::NodeContext;
+
+/// Outputs its own id immediately, never sends anything.
+class OutputImmediately final : public local::Algorithm {
+ public:
+  void on_start(NodeContext& ctx) override { ctx.output(static_cast<std::int64_t>(ctx.id())); }
+  void on_round(NodeContext&, std::span<const Message>) override {}
+};
+
+TEST(Engine, ImmediateOutputsFinishAtRoundZero) {
+  const auto g = graph::make_cycle(5);
+  const auto ids = graph::IdAssignment::identity(5);
+  const auto run =
+      local::run_messages(g, ids, [] { return std::make_unique<OutputImmediately>(); });
+  EXPECT_EQ(run.rounds, 0u);
+  EXPECT_EQ(run.messages, 0u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(run.radii[v], 0u);
+    EXPECT_EQ(run.outputs[v], static_cast<std::int64_t>(v + 1));
+  }
+}
+
+/// Counts rounds; outputs at round k. Verifies synchrony and inbox content.
+class PingPong final : public local::Algorithm {
+ public:
+  explicit PingPong(std::size_t stop_round) : stop_round_(stop_round) {}
+
+  void on_start(NodeContext& ctx) override {
+    local::Encoder e;
+    e.u64(ctx.id());
+    ctx.broadcast(e.take());
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override {
+    // On a cycle every node hears from both neighbours every round.
+    EXPECT_EQ(inbox.size(), 2u);
+    EXPECT_EQ(inbox[0].from_port, 0u);
+    EXPECT_EQ(inbox[1].from_port, 1u);
+    if (ctx.round() == stop_round_ && !ctx.has_output()) {
+      local::Decoder d(inbox[0].payload);
+      ctx.output(static_cast<std::int64_t>(d.u64()));
+    }
+    local::Encoder e;
+    e.u64(ctx.id());
+    ctx.broadcast(e.take());
+  }
+
+ private:
+  std::size_t stop_round_;
+};
+
+TEST(Engine, SynchronousRoundsAndPortRouting) {
+  const std::size_t n = 6;
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  const auto run =
+      local::run_messages(g, ids, [] { return std::make_unique<PingPong>(3); });
+  EXPECT_EQ(run.rounds, 3u);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(run.radii[v], 3u);
+    // Port 0 leads to the clockwise successor; its id is v+2 (mod n, 1-based).
+    EXPECT_EQ(run.outputs[v], static_cast<std::int64_t>((v + 1) % n + 1));
+  }
+  // The engine counts *delivered* messages: sends from rounds 0..2 arrive in
+  // rounds 1..3; the final round's sends are never delivered.
+  EXPECT_EQ(run.messages, n * 2 * 3);
+}
+
+TEST(Engine, KnowledgeModes) {
+  const auto g = graph::make_cycle(4);
+  const auto ids = graph::IdAssignment::identity(4);
+
+  class NReporter final : public local::Algorithm {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.output(ctx.n().has_value() ? static_cast<std::int64_t>(*ctx.n()) : -1);
+    }
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+
+  local::EngineOptions unknown;
+  const auto run_unknown =
+      local::run_messages(g, ids, [] { return std::make_unique<NReporter>(); }, unknown);
+  EXPECT_EQ(run_unknown.outputs[0], -1);
+
+  local::EngineOptions knows;
+  knows.knowledge = local::Knowledge::kKnowsN;
+  const auto run_knows =
+      local::run_messages(g, ids, [] { return std::make_unique<NReporter>(); }, knows);
+  EXPECT_EQ(run_knows.outputs[0], 4);
+}
+
+TEST(Engine, GuardsRejectBadSends) {
+  const auto g = graph::make_cycle(3);
+  const auto ids = graph::IdAssignment::identity(3);
+
+  class BadPort final : public local::Algorithm {
+   public:
+    void on_start(NodeContext& ctx) override { ctx.send(5, {}); }
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+  EXPECT_THROW(local::run_messages(g, ids, [] { return std::make_unique<BadPort>(); }),
+               std::invalid_argument);
+
+  class DoubleSend final : public local::Algorithm {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.send(0, {});
+      ctx.send(0, {});
+    }
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+  EXPECT_THROW(local::run_messages(g, ids, [] { return std::make_unique<DoubleSend>(); }),
+               std::invalid_argument);
+
+  class DoubleOutput final : public local::Algorithm {
+   public:
+    void on_start(NodeContext& ctx) override {
+      ctx.output(1);
+      ctx.output(2);
+    }
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+  EXPECT_THROW(local::run_messages(g, ids, [] { return std::make_unique<DoubleOutput>(); }),
+               std::logic_error);
+}
+
+TEST(Engine, RoundCapThrows) {
+  const auto g = graph::make_cycle(3);
+  const auto ids = graph::IdAssignment::identity(3);
+
+  class Silent final : public local::Algorithm {
+   public:
+    void on_start(NodeContext&) override {}
+    void on_round(NodeContext&, std::span<const Message>) override {}
+  };
+  local::EngineOptions options;
+  options.max_rounds = 50;
+  EXPECT_THROW(
+      local::run_messages(g, ids, [] { return std::make_unique<Silent>(); }, options),
+      std::runtime_error);
+}
+
+TEST(Engine, TraceRecordsRounds) {
+  const auto g = graph::make_cycle(5);
+  const auto ids = graph::IdAssignment::identity(5);
+  local::Trace trace;
+  local::EngineOptions options;
+  options.trace = &trace;
+  local::run_messages(g, ids, [] { return std::make_unique<PingPong>(2); }, options);
+  ASSERT_EQ(trace.rounds().size(), 3u);  // rounds 0, 1, 2
+  EXPECT_EQ(trace.rounds()[0].round, 0u);
+  EXPECT_EQ(trace.rounds()[2].outputs_set, 5u);
+  std::size_t total_outputs = 0;
+  for (const auto& r : trace.rounds()) total_outputs += r.outputs_set;
+  EXPECT_EQ(total_outputs, 5u);
+}
+
+// ---- full-information adapter ---------------------------------------------
+
+struct AdapterCase {
+  std::string family;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class FullInfoEquivalence : public ::testing::TestWithParam<AdapterCase> {};
+
+TEST_P(FullInfoEquivalence, MatchesFloodingViewEngine) {
+  const auto& param = GetParam();
+  support::Xoshiro256 rng(param.seed);
+  graph::Graph g = param.family == "cycle"  ? graph::make_cycle(param.n)
+                   : param.family == "path" ? graph::make_path(param.n)
+                   : param.family == "tree" ? graph::make_random_tree(param.n, rng)
+                                            : graph::make_grid(param.n / 4, 4);
+  const auto ids = graph::IdAssignment::random(g.vertex_count(), rng);
+
+  local::ViewEngineOptions view_options;
+  view_options.semantics = local::ViewSemantics::kFloodingKnowledge;
+  const auto by_views =
+      local::run_views(g, ids, algo::make_largest_id_view(), view_options);
+  const auto by_messages =
+      local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+
+  ASSERT_EQ(by_views.outputs.size(), by_messages.outputs.size());
+  for (std::size_t v = 0; v < by_views.outputs.size(); ++v) {
+    EXPECT_EQ(by_views.outputs[v], by_messages.outputs[v]) << "vertex " << v;
+    EXPECT_EQ(by_views.radii[v], by_messages.radii[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, FullInfoEquivalence,
+    ::testing::Values(AdapterCase{"cycle", 9, 1}, AdapterCase{"cycle", 10, 2},
+                      AdapterCase{"cycle", 17, 3}, AdapterCase{"path", 12, 4},
+                      AdapterCase{"tree", 20, 5}, AdapterCase{"tree", 33, 6},
+                      AdapterCase{"grid", 16, 7}, AdapterCase{"cycle", 24, 8}),
+    [](const auto& param_info) {
+      return param_info.param.family + "_" + std::to_string(param_info.param.n) + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace

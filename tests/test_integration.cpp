@@ -1,0 +1,138 @@
+// Cross-module integration tests: three implementations of each algorithm
+// agree; algorithms compose (colouring -> MIS); instrumented runs add up.
+#include <gtest/gtest.h>
+
+#include "algo/cole_vishkin.hpp"
+#include "algo/colour_reduction.hpp"
+#include "algo/largest_id.hpp"
+#include "algo/local_colouring.hpp"
+#include "algo/mis_ring.hpp"
+#include "algo/validity.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/full_info.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+TEST(Integration, LargestIdThreeWayAgreement) {
+  // Ball engine (flooding), native message protocol, and the generic
+  // full-information adapter must produce identical radii and outputs.
+  support::Xoshiro256 rng(42);
+  for (const std::size_t n : {5u, 8u, 13u, 21u}) {
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::random(n, rng);
+
+    local::ViewEngineOptions flooding;
+    flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+    const auto views = local::run_views(g, ids, algo::make_largest_id_view(), flooding);
+    const auto native = local::run_messages(g, ids, algo::make_largest_id_messages());
+    const auto adapter = local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_EQ(views.outputs[v], native.outputs[v]) << "n " << n << " v " << v;
+      EXPECT_EQ(views.outputs[v], adapter.outputs[v]) << "n " << n << " v " << v;
+      EXPECT_EQ(views.radii[v], native.radii[v]) << "n " << n << " v " << v;
+      EXPECT_EQ(views.radii[v], adapter.radii[v]) << "n " << n << " v " << v;
+    }
+  }
+}
+
+TEST(Integration, ColeVishkinThroughTheAdapter) {
+  const std::size_t n = 16;
+  support::Xoshiro256 rng(43);
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::random(n, rng);
+
+  local::ViewEngineOptions flooding;
+  flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+  const auto views = local::run_views(g, ids, algo::make_cole_vishkin_view(n), flooding);
+  const auto adapter =
+      local::run_views_by_messages(g, ids, algo::make_cole_vishkin_view(n));
+  EXPECT_TRUE(algo::is_valid_colouring(g, views.outputs, 3));
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(views.outputs[v], adapter.outputs[v]) << "v " << v;
+    EXPECT_EQ(views.radii[v], adapter.radii[v]) << "v " << v;
+  }
+}
+
+TEST(Integration, KnownAndUnknownNColouringsBothValid) {
+  support::Xoshiro256 rng(44);
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::random(n, rng);
+
+    const auto known = local::run_views(g, ids, algo::make_cole_vishkin_view(n));
+    EXPECT_TRUE(algo::is_valid_colouring(g, known.outputs, 3));
+
+    local::EngineOptions options;
+    options.max_rounds = 10'000;
+    const auto unknown =
+        local::run_messages(g, ids, algo::make_local_three_colouring(), options);
+    EXPECT_TRUE(algo::is_valid_colouring(g, unknown.outputs, 3));
+
+    // The unknown-n protocol must stay within a constant factor of the
+    // known-n schedule on average.
+    EXPECT_LE(unknown.average_radius(),
+              12.0 * static_cast<double>(algo::cv_schedule_rounds(n)));
+  }
+}
+
+TEST(Integration, MisIsConsistentWithColouring) {
+  const std::size_t n = 40;
+  support::Xoshiro256 rng(45);
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::random(n, rng);
+
+  const auto colours = local::run_views(g, ids, algo::make_cole_vishkin_view(n));
+  const auto mis = local::run_views(g, ids, algo::make_mis_ring_view(n));
+  EXPECT_TRUE(algo::is_maximal_independent_set(g, mis.outputs));
+  // Greedy admission: every colour-0 vertex is in the set.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (colours.outputs[v] == 0) {
+      EXPECT_EQ(mis.outputs[v], 1) << "v " << v;
+    }
+  }
+}
+
+TEST(Integration, TraceAccountsForEverything) {
+  const std::size_t n = 12;
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  local::Trace trace;
+  local::EngineOptions options;
+  options.trace = &trace;
+  const auto run = local::run_messages(g, ids, algo::make_largest_id_messages(), options);
+
+  std::size_t outputs_total = 0;
+  std::uint64_t messages_total = 0;
+  for (const auto& round : trace.rounds()) {
+    outputs_total += round.outputs_set;
+    messages_total += round.messages;
+  }
+  EXPECT_EQ(outputs_total, n);
+  EXPECT_EQ(messages_total, run.messages);
+  EXPECT_EQ(trace.rounds().size(), run.rounds + 1);  // includes round 0
+  EXPECT_GT(run.words, 0u);
+}
+
+TEST(Integration, AverageVersusWorstGapGrowsWithN) {
+  // The paper's headline: the measure gap is unbounded for largest-ID.
+  support::Xoshiro256 rng(46);
+  double previous_gap = 0.0;
+  for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::random(n, rng);
+    const auto run = local::run_views(g, ids, algo::make_largest_id_view());
+    const double gap =
+        static_cast<double>(run.max_radius()) / std::max(run.average_radius(), 1e-9);
+    EXPECT_GT(gap, previous_gap * 1.2) << "gap must keep widening, n = " << n;
+    previous_gap = gap;
+  }
+}
+
+}  // namespace

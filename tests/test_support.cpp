@@ -1,0 +1,211 @@
+// Unit tests for the support layer: RNG, math, statistics, tables, CSV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace avglocal::support;
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroIsDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c) << "different seeds should diverge";
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RandomPermutationIsAPermutation) {
+  Xoshiro256 rng(5);
+  const auto perm = random_permutation(257, rng);
+  ASSERT_EQ(perm.size(), 257u);
+  std::set<std::uint64_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 257u);
+  EXPECT_EQ(*values.begin(), 1u);
+  EXPECT_EQ(*values.rbegin(), 257u);
+}
+
+TEST(Rng, DerivedSeedsDiffer) {
+  const auto s1 = derive_seed(1, 0);
+  const auto s2 = derive_seed(1, 1);
+  const auto s3 = derive_seed(2, 0);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(s1, derive_seed(1, 0));
+}
+
+TEST(Math, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+}
+
+TEST(Math, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(7), 3);
+  EXPECT_EQ(bit_width_u64(8), 4);
+}
+
+TEST(Math, LogStarAtTowerValues) {
+  EXPECT_EQ(log_star(1.0), 0);
+  EXPECT_EQ(log_star(2.0), 1);
+  EXPECT_EQ(log_star(4.0), 2);
+  EXPECT_EQ(log_star(16.0), 3);
+  EXPECT_EQ(log_star(65536.0), 4);
+  EXPECT_EQ(log_star(65537.0), 5);
+}
+
+TEST(Math, Tower) {
+  EXPECT_EQ(tower(0), 1u);
+  EXPECT_EQ(tower(1), 2u);
+  EXPECT_EQ(tower(2), 4u);
+  EXPECT_EQ(tower(3), 16u);
+  EXPECT_EQ(tower(4), 65536u);
+}
+
+TEST(Math, LogStarInverseOfTower) {
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_EQ(log_star(static_cast<double>(tower(k))), k);
+  }
+}
+
+TEST(Stats, RunningMatchesNaive) {
+  RunningStats rs;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+  double sum = 0;
+  for (double x : xs) {
+    rs.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_EQ(rs.min(), -7.5);
+  EXPECT_EQ(rs.max(), 10.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  RunningStats left, right, whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    (i < 20 ? left : right).add(x);
+    whole.add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.count(), whole.count());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> sorted = {0, 10, 20, 30, 40};
+  EXPECT_NEAR(percentile_sorted(sorted, 0.0), 0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 1.0), 40, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 0.5), 20, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 0.25), 10, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 0.125), 5, 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, FitLinearRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+}
+
+TEST(Stats, FitLinearRejectsDegenerate) {
+  EXPECT_THROW(fit_linear({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({2.0, 2.0}, {1.0, 3.0}), std::logic_error);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "long header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({Table::cell(std::int64_t{-7}), Table::cell(3.14159, 2), "x"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a "), std::string::npos);
+  EXPECT_NE(md.find("long header"), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+  EXPECT_NE(md.find("-7"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_text().find("only"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"n", "avg"});
+  writer.write_row({"8", "1,5"});
+  EXPECT_EQ(out.str(), "n,avg\n8,\"1,5\"\n");
+}
+
+}  // namespace

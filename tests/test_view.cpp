@@ -1,0 +1,255 @@
+// Tests of the ball-view machinery: BallGrower under both knowledge
+// semantics, ring view extraction, and the view engine loop.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/view.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+using local::BallGrower;
+using local::BallView;
+using local::ViewSemantics;
+
+TEST(BallGrower, RadiusZeroIsJustTheRoot) {
+  const auto g = graph::make_cycle(5);
+  const auto ids = graph::IdAssignment::identity(5);
+  BallGrower::Scratch scratch(5);
+  BallGrower grower(g, ids, 2, ViewSemantics::kInducedBall, scratch);
+  const BallView& view = grower.view();
+  EXPECT_EQ(view.radius, 0);
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.root_id(), 3u);
+  EXPECT_EQ(view.degree_of(0), 2u);
+  EXPECT_FALSE(view.covers_graph);
+}
+
+TEST(BallGrower, InducedCoversCycleAtCeilHalf) {
+  for (const std::size_t n : {3u, 4u, 5u, 6u, 7u, 8u, 9u}) {
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::identity(n);
+    BallGrower::Scratch scratch(n);
+    BallGrower grower(g, ids, 0, ViewSemantics::kInducedBall, scratch);
+    std::size_t r = 0;
+    while (!grower.view().covers_graph) {
+      grower.grow();
+      ++r;
+      ASSERT_LE(r, n);
+    }
+    EXPECT_EQ(r, n / 2) << "induced closure at ceil((n-1)/2), n = " << n;
+    EXPECT_EQ(grower.view().size(), n);
+  }
+}
+
+TEST(BallGrower, FloodingCoversCycleLater) {
+  for (const std::size_t n : {4u, 5u, 6u, 7u, 9u, 12u}) {
+    const auto g = graph::make_cycle(n);
+    const auto ids = graph::IdAssignment::identity(n);
+    BallGrower::Scratch scratch(n);
+    BallGrower grower(g, ids, 1, ViewSemantics::kFloodingKnowledge, scratch);
+    std::size_t r = 0;
+    while (!grower.view().covers_graph) {
+      grower.grow();
+      ++r;
+      ASSERT_LE(r, n);
+    }
+    EXPECT_EQ(r, (n + 1) / 2) << "flooding closure at ceil(n/2), n = " << n;
+  }
+}
+
+TEST(BallGrower, LayerSizesOnCycle) {
+  const std::size_t n = 11;
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  BallGrower::Scratch scratch(n);
+  BallGrower grower(g, ids, 0, ViewSemantics::kInducedBall, scratch);
+  for (std::size_t r = 1; r <= 5; ++r) {
+    grower.grow();
+    EXPECT_EQ(grower.view().size(), std::min(n, 2 * r + 1));
+  }
+}
+
+TEST(BallGrower, ViewIdsAreAppendOnly) {
+  const std::size_t n = 16;
+  const auto g = graph::make_cycle(n);
+  avglocal::support::Xoshiro256 rng(11);
+  const auto ids = graph::IdAssignment::random(n, rng);
+  BallGrower::Scratch scratch(n);
+  BallGrower grower(g, ids, 3, ViewSemantics::kInducedBall, scratch);
+  std::vector<std::uint64_t> prefix = grower.view().ids;
+  for (int r = 1; r <= 8; ++r) {
+    grower.grow();
+    const auto& now = grower.view().ids;
+    ASSERT_GE(now.size(), prefix.size());
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      EXPECT_EQ(now[i], prefix[i]) << "prefix must be stable";
+    }
+    prefix = now;
+  }
+}
+
+TEST(BallGrower, ScratchIsReusableAcrossGrowers) {
+  const std::size_t n = 10;
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  BallGrower::Scratch scratch(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    BallGrower grower(g, ids, v, ViewSemantics::kInducedBall, scratch);
+    grower.grow();
+    EXPECT_EQ(grower.view().size(), 3u);
+    EXPECT_EQ(grower.view().root_id(), v + 1);
+  }
+}
+
+TEST(BallGrower, StarGeometry) {
+  const auto g = graph::make_star(7);
+  const auto ids = graph::IdAssignment::identity(7);
+  BallGrower::Scratch scratch(7);
+  {
+    BallGrower centre(g, ids, 0, ViewSemantics::kInducedBall, scratch);
+    centre.grow();
+    EXPECT_TRUE(centre.view().covers_graph);
+    EXPECT_EQ(centre.view().size(), 7u);
+  }
+  {
+    BallGrower leaf(g, ids, 1, ViewSemantics::kInducedBall, scratch);
+    leaf.grow();
+    EXPECT_EQ(leaf.view().size(), 2u);
+    EXPECT_FALSE(leaf.view().covers_graph);
+    leaf.grow();
+    EXPECT_TRUE(leaf.view().covers_graph);
+    EXPECT_EQ(leaf.view().size(), 7u);
+  }
+}
+
+TEST(BallView, MaxAndGreaterQueries) {
+  const auto g = graph::make_cycle(6);
+  const auto ids = graph::IdAssignment::reversed(6);  // ids 6,5,4,3,2,1
+  BallGrower::Scratch scratch(6);
+  BallGrower grower(g, ids, 3, ViewSemantics::kInducedBall, scratch);  // own id 3
+  grower.grow();
+  const BallView& view = grower.view();
+  EXPECT_EQ(view.max_id(), 4u);
+  EXPECT_TRUE(view.contains_id_greater_than(3));
+  EXPECT_FALSE(view.contains_id_greater_than(4));
+}
+
+struct RingViewCase {
+  std::size_t n;
+  std::size_t radius;
+  local::ViewSemantics semantics;
+};
+
+class RingViewExtraction : public ::testing::TestWithParam<RingViewCase> {};
+
+TEST_P(RingViewExtraction, WalksMatchArcOrder) {
+  const auto [n, radius, semantics] = GetParam();
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  BallGrower::Scratch scratch(n);
+  const graph::Vertex root = 0;
+  BallGrower grower(g, ids, root, semantics, scratch);
+  for (std::size_t r = 0; r < radius; ++r) grower.grow();
+  const auto ring = local::try_extract_ring_view(grower.view());
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->own, 1u);
+  if (ring->closed) {
+    EXPECT_EQ(ring->seen_count(), n);
+    EXPECT_TRUE(ring->ccw.empty());
+    ASSERT_EQ(ring->cw.size(), n - 1);
+    for (std::size_t i = 0; i < ring->cw.size(); ++i) {
+      EXPECT_EQ(ring->cw[i], 2 + i) << "clockwise walk follows ring order";
+    }
+  } else {
+    ASSERT_EQ(ring->cw.size(), radius);
+    ASSERT_EQ(ring->ccw.size(), radius);
+    for (std::size_t i = 0; i < radius; ++i) {
+      EXPECT_EQ(ring->cw[i], (root + i + 1) % n + 1);  // identifier = vertex index + 1
+      EXPECT_EQ(ring->ccw[i], (root + n - i - 1) % n + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingViewExtraction,
+    ::testing::Values(RingViewCase{9, 2, ViewSemantics::kInducedBall},
+                      RingViewCase{9, 3, ViewSemantics::kInducedBall},
+                      RingViewCase{9, 4, ViewSemantics::kInducedBall},   // closed
+                      RingViewCase{12, 3, ViewSemantics::kFloodingKnowledge},
+                      RingViewCase{12, 6, ViewSemantics::kFloodingKnowledge},  // closed
+                      RingViewCase{5, 2, ViewSemantics::kInducedBall}));      // closed
+
+TEST(RingView, NonRingRootIsRejected) {
+  const auto g = graph::make_star(5);
+  const auto ids = graph::IdAssignment::identity(5);
+  BallGrower::Scratch scratch(5);
+  BallGrower grower(g, ids, 0, ViewSemantics::kInducedBall, scratch);
+  grower.grow();
+  EXPECT_FALSE(local::try_extract_ring_view(grower.view()).has_value());
+}
+
+// ---- view engine ----------------------------------------------------------
+
+/// Stops at a fixed radius, outputs the ball size (for engine-loop tests).
+class StopAtRadius final : public local::ViewAlgorithm {
+ public:
+  explicit StopAtRadius(int r) : target_(r) {}
+  std::optional<std::int64_t> on_view(const BallView& view) override {
+    if (view.radius < target_ && !view.covers_graph) return std::nullopt;
+    return static_cast<std::int64_t>(view.size());
+  }
+
+ private:
+  int target_;
+};
+
+TEST(ViewEngine, RadiiAndOutputs) {
+  const auto g = graph::make_cycle(10);
+  const auto ids = graph::IdAssignment::identity(10);
+  const auto run = local::run_views(g, ids, [] { return std::make_unique<StopAtRadius>(2); });
+  for (std::size_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(run.radii[v], 2u);
+    EXPECT_EQ(run.outputs[v], 5);
+  }
+  EXPECT_EQ(run.max_radius(), 2u);
+  EXPECT_DOUBLE_EQ(run.average_radius(), 2.0);
+  EXPECT_EQ(run.sum_radius(), 20u);
+}
+
+TEST(ViewEngine, CoverShortCircuitsLargeTargets) {
+  const auto g = graph::make_cycle(6);
+  const auto ids = graph::IdAssignment::identity(6);
+  const auto run =
+      local::run_views(g, ids, [] { return std::make_unique<StopAtRadius>(100); });
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(run.radii[v], 3u);
+}
+
+/// Never stops: engine must throw at the cap.
+class NeverStops final : public local::ViewAlgorithm {
+ public:
+  std::optional<std::int64_t> on_view(const BallView&) override { return std::nullopt; }
+};
+
+TEST(ViewEngine, RadiusCapThrows) {
+  const auto g = graph::make_cycle(6);
+  const auto ids = graph::IdAssignment::identity(6);
+  EXPECT_THROW(local::run_views(g, ids, [] { return std::make_unique<NeverStops>(); }),
+               std::runtime_error);
+}
+
+TEST(ViewEngine, SingleVertexRunner) {
+  const auto g = graph::make_cycle(9);
+  const auto ids = graph::IdAssignment::identity(9);
+  const auto [output, radius] =
+      local::run_view_on_vertex(g, ids, 4, [] { return std::make_unique<StopAtRadius>(1); });
+  EXPECT_EQ(radius, 1u);
+  EXPECT_EQ(output, 3);
+}
+
+}  // namespace
