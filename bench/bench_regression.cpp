@@ -1,0 +1,353 @@
+// Performance-regression gate for the simulation core. Plain binary (no
+// google-benchmark dependency) so it builds and runs everywhere CI does.
+//
+// Measures, and writes to BENCH_core.json:
+//  * view-sweep throughput (trials/sec) on the n=10'000 ring largest-id
+//    sweep: the frozen pre-flat-memory serial path (replicated below),
+//    today's serial path, and today's pooled path - plus the speedup
+//    ratios future PRs must defend;
+//  * message-engine throughput (rounds/sec) and per-round heap traffic
+//    after warm-up, via the allocation-counting hook (expected: zero).
+//
+// Usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/largest_id.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/flood_probe.hpp"
+#include "local/view.hpp"
+#include "local/view_engine.hpp"
+#include "support/alloc_hook.hpp"
+#include "support/json_writer.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+AVGLOCAL_DEFINE_ALLOC_HOOK();
+
+namespace {
+
+using namespace avglocal;
+using local::AllocSampler;
+using local::FloodRelay;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ------------------------------------------------------------------------
+// Frozen replica of the pre-flat-memory serial view sweep (the "legacy"
+// baseline the >=3x acceptance ratio is measured against). Deliberately
+// kept faithful to the old code's allocation behaviour: jagged
+// vector<vector> port rows, O(degree) port_to scans on both edge
+// endpoints, and fresh per-vertex view/frontier buffers. Do not modernise.
+// ------------------------------------------------------------------------
+namespace legacy {
+
+struct View {
+  int radius = 0;
+  std::vector<std::uint64_t> ids;
+  std::vector<int> dist;
+  std::vector<std::vector<local::LocalVertex>> ports;
+  bool covers_graph = false;
+};
+
+class Grower {
+ public:
+  Grower(const graph::Graph& g, const graph::IdAssignment& ids, graph::Vertex root,
+         std::vector<local::LocalVertex>& local_of)
+      : g_(&g), ids_(&ids), local_of_(&local_of) {
+    add_vertex(root, 0);
+    frontier_.push_back(root);
+    view_.covers_graph = (unresolved_ports_ == 0);
+  }
+
+  ~Grower() {
+    for (graph::Vertex v : global_of_) (*local_of_)[v] = local::kUnknownTarget;
+  }
+
+  const View& view() const noexcept { return view_; }
+
+  void grow() {
+    ++view_.radius;
+    if (view_.covers_graph) return;
+    std::vector<graph::Vertex> next_frontier;
+    for (graph::Vertex a : frontier_) {
+      for (graph::Vertex b : g_->neighbours(a)) {
+        if ((*local_of_)[b] == local::kUnknownTarget) {
+          add_vertex(b, view_.radius);
+          next_frontier.push_back(b);
+          for (graph::Vertex c : g_->neighbours(b)) {
+            if ((*local_of_)[c] != local::kUnknownTarget) resolve_edge(b, c);
+          }
+        }
+      }
+    }
+    frontier_ = std::move(next_frontier);
+    view_.covers_graph = (unresolved_ports_ == 0);
+  }
+
+ private:
+  void add_vertex(graph::Vertex v, int dist) {
+    (*local_of_)[v] = static_cast<local::LocalVertex>(view_.ids.size());
+    global_of_.push_back(v);
+    view_.ids.push_back(ids_->id_of(v));
+    view_.dist.push_back(dist);
+    view_.ports.emplace_back(g_->degree(v), local::kUnknownTarget);
+    unresolved_ports_ += g_->degree(v);
+  }
+
+  void resolve_edge(graph::Vertex a, graph::Vertex b) {
+    const local::LocalVertex la = (*local_of_)[a];
+    const local::LocalVertex lb = (*local_of_)[b];
+    const std::size_t pa = g_->port_to(a, b);  // O(degree) scan, as before
+    const std::size_t pb = g_->port_to(b, a);
+    if (view_.ports[la][pa] == local::kUnknownTarget) {
+      view_.ports[la][pa] = lb;
+      --unresolved_ports_;
+    }
+    if (view_.ports[lb][pb] == local::kUnknownTarget) {
+      view_.ports[lb][pb] = la;
+      --unresolved_ports_;
+    }
+  }
+
+  const graph::Graph* g_;
+  const graph::IdAssignment* ids_;
+  std::vector<local::LocalVertex>* local_of_;
+  View view_;
+  std::vector<graph::Vertex> global_of_;
+  std::vector<graph::Vertex> frontier_;
+  std::size_t unresolved_ports_ = 0;
+};
+
+/// The old serial run_views, specialised to the largest-id stopping rule.
+local::RunResult run_views_largest_id(const graph::Graph& g, const graph::IdAssignment& ids) {
+  local::RunResult result;
+  const std::size_t n = g.vertex_count();
+  result.outputs.resize(n);
+  result.radii.resize(n);
+  std::vector<local::LocalVertex> local_of(n, local::kUnknownTarget);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    Grower grower(g, ids, v, local_of);
+    std::size_t scanned = 0;
+    while (true) {
+      const View& view = grower.view();
+      std::int64_t output = -1;
+      for (; scanned < view.ids.size(); ++scanned) {
+        if (view.ids[scanned] > view.ids[0]) {
+          output = algo::kNo;
+          break;
+        }
+      }
+      if (output < 0 && view.covers_graph) output = algo::kYes;
+      if (output >= 0) {
+        result.outputs[v] = output;
+        result.radii[v] = static_cast<std::size_t>(view.radius);
+        break;
+      }
+      grower.grow();
+    }
+  }
+  return result;
+}
+
+}  // namespace legacy
+
+// ------------------------------------------------------------------------
+// View-sweep benchmark: trials/sec over random id permutations of the ring.
+// ------------------------------------------------------------------------
+
+struct SweepThroughput {
+  double legacy_trials_per_sec = 0;
+  double serial_trials_per_sec = 0;
+  double pooled_trials_per_sec = 0;
+  std::size_t pool_workers = 1;
+};
+
+bool same_run(const local::RunResult& a, const local::RunResult& b) {
+  return a.outputs == b.outputs && a.radii == b.radii;
+}
+
+SweepThroughput bench_view_sweep(std::size_t n, std::size_t trials, std::uint64_t seed) {
+  const auto g = graph::make_cycle(n);
+  const auto factory = algo::make_largest_id_view();
+  SweepThroughput out;
+
+  // Identifier permutations are generated up front so the timed regions
+  // measure only the engine paths: shared setup cost inside the loops would
+  // pull every ratio toward 1 and let regressions hide in the constant term.
+  std::vector<graph::IdAssignment> assignments;
+  assignments.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    support::Xoshiro256 rng(support::derive_seed(seed, t));
+    assignments.emplace_back(graph::IdAssignment::random(n, rng));
+  }
+
+  {
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto run = legacy::run_views_largest_id(g, assignments[t]);
+      if (run.radii.empty()) std::abort();
+    }
+    out.legacy_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  }
+  {
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto run = local::run_views(g, assignments[t], factory);
+      if (run.radii.empty()) std::abort();
+    }
+    out.serial_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  }
+  {
+    support::ThreadPool pool;  // hardware concurrency
+    out.pool_workers = pool.size();
+    local::ViewEngineOptions options;
+    options.pool = &pool;
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto run = local::run_views(g, assignments[t], factory, options);
+      if (run.radii.empty()) std::abort();
+    }
+    out.pooled_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  }
+
+  // The three paths must agree bit-for-bit - a perf gate that drifts from
+  // the semantics would defend the wrong thing.
+  {
+    const auto& ids = assignments[0];
+    const auto a = legacy::run_views_largest_id(g, ids);
+    const auto b = local::run_views(g, ids, factory);
+    support::ThreadPool pool;
+    local::ViewEngineOptions options;
+    options.pool = &pool;
+    const auto c = local::run_views(g, ids, factory, options);
+    if (!same_run(a, b) || !same_run(b, c)) {
+      std::cerr << "bench_regression: view paths disagree\n";
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Message-engine benchmark: rounds/sec + per-round heap traffic.
+// ------------------------------------------------------------------------
+
+struct EngineThroughput {
+  double rounds_per_sec = 0;
+  double messages_per_sec = 0;
+  std::uint64_t allocs_per_round_after_warmup = 0;
+  std::uint64_t bytes_per_round_after_warmup = 0;
+};
+
+EngineThroughput bench_message_engine(std::size_t n, std::size_t rounds) {
+  const auto g = graph::make_cycle(n);
+  const auto ids = graph::IdAssignment::identity(n);
+  const auto factory = [rounds] { return std::make_unique<FloodRelay>(rounds); };
+
+  EngineThroughput out;
+  {
+    const auto start = Clock::now();
+    const auto run = local::run_messages(g, ids, factory);
+    const double secs = seconds_since(start);
+    out.rounds_per_sec = static_cast<double>(run.rounds) / secs;
+    out.messages_per_sec = static_cast<double>(run.messages) / secs;
+  }
+  {
+    AllocSampler sampler(rounds);
+    local::EngineOptions options;
+    options.trace = &sampler;
+    local::run_messages(g, ids, factory, options);
+    // Rounds 0-2 may grow arena/inbox capacity; everything after must be
+    // allocation-free.
+    const auto worst = sampler.worst_after(3);
+    out.allocs_per_round_after_warmup = worst.allocations;
+    out.bytes_per_round_after_warmup = worst.bytes;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_core.json";
+  std::size_t n = 10'000;
+  std::size_t trials = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]\n";
+      return 1;
+    }
+  }
+  if (smoke) {
+    n = std::min<std::size_t>(n, 2'000);
+    trials = std::min<std::size_t>(trials, 6);
+  }
+  const std::size_t engine_n = smoke ? 256 : 2'048;
+  const std::size_t engine_rounds = smoke ? 64 : 256;
+
+  const SweepThroughput sweep = bench_view_sweep(n, trials, /*seed=*/42);
+  const EngineThroughput engine = bench_message_engine(engine_n, engine_rounds);
+
+  const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
+  const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
+
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("core");
+  json.key("mode").value(smoke ? "smoke" : "full");
+  json.key("view_sweep").begin_object();
+  json.key("topology").value("ring");
+  json.key("algorithm").value("largest_id");
+  json.key("n").value(static_cast<std::uint64_t>(n));
+  json.key("trials").value(static_cast<std::uint64_t>(trials));
+  json.key("legacy_trials_per_sec").value(sweep.legacy_trials_per_sec);
+  json.key("serial_trials_per_sec").value(sweep.serial_trials_per_sec);
+  json.key("pooled_trials_per_sec").value(sweep.pooled_trials_per_sec);
+  json.key("pool_workers").value(static_cast<std::uint64_t>(sweep.pool_workers));
+  json.key("serial_speedup_vs_legacy").value(serial_ratio);
+  json.key("pooled_speedup_vs_legacy").value(pooled_ratio);
+  json.end_object();
+  json.key("message_engine").begin_object();
+  json.key("topology").value("ring");
+  json.key("n").value(static_cast<std::uint64_t>(engine_n));
+  json.key("rounds").value(static_cast<std::uint64_t>(engine_rounds));
+  json.key("rounds_per_sec").value(engine.rounds_per_sec);
+  json.key("messages_per_sec").value(engine.messages_per_sec);
+  json.key("allocs_per_round_after_warmup").value(engine.allocs_per_round_after_warmup);
+  json.key("bytes_per_round_after_warmup").value(engine.bytes_per_round_after_warmup);
+  json.end_object();
+  json.end_object();
+
+  std::ofstream file(out_path);
+  file << json.str() << "\n";
+  file.close();
+  std::cout << json.str() << "\n";
+
+  if (engine.allocs_per_round_after_warmup != 0) {
+    std::cerr << "bench_regression: message engine allocated after warm-up\n";
+    return 3;
+  }
+  return 0;
+}

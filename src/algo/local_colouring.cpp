@@ -26,7 +26,7 @@ local::Payload encode(const NodeState& s) {
   return e.take();
 }
 
-NodeState decode(const local::Payload& payload) {
+NodeState decode(std::span<const std::uint64_t> payload) {
   local::Decoder d(payload);
   NodeState s;
   s.id = d.u64();

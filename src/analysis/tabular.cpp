@@ -20,7 +20,7 @@ local::BallView synth_open_view(const RingViewKey& window) {
   const std::size_t size = window.size();
   view.ids.resize(size);
   view.dist.resize(size);
-  view.ports.assign(size, std::vector<local::LocalVertex>(2, local::kUnknownTarget));
+  view.ports.assign_rows(size, 2);
 
   // local index: 0 = root; cw_i -> 2i-1; ccw_i -> 2i.
   const auto cw = [](std::size_t i) { return static_cast<local::LocalVertex>(2 * i - 1); };
@@ -55,7 +55,7 @@ local::BallView synth_closed_view(const std::vector<std::uint64_t>& ids, std::si
   view.covers_graph = true;
   view.ids.resize(n);
   view.dist.resize(n);
-  view.ports.assign(n, std::vector<local::LocalVertex>(2, local::kUnknownTarget));
+  view.ports.assign_rows(n, 2);
   // local i corresponds to ring position (v + i) mod n; port 0 = clockwise.
   for (std::size_t i = 0; i < n; ++i) {
     view.ids[i] = ids[(v + i) % n];

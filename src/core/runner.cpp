@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <memory>
 #include <thread>
 
 #include "support/assert.hpp"
@@ -22,10 +23,20 @@ std::vector<SweepPoint> run_random_sweep(const std::vector<std::size_t>& ns,
                                          const local::ViewAlgorithmFactory& algorithm,
                                          const SweepOptions& options) {
   AVGLOCAL_EXPECTS(options.trials >= 1);
-  std::size_t workers = options.threads;
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
+
+  // One pool for the whole sweep: workers outlive every point, so threads
+  // are created exactly once no matter how many sizes are measured. More
+  // workers than trials would only ever idle, so cap there.
+  std::unique_ptr<support::ThreadPool> owned_pool;
+  support::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    std::size_t workers = options.threads != 0
+                              ? options.threads
+                              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    owned_pool = std::make_unique<support::ThreadPool>(std::min(workers, options.trials));
+    pool = owned_pool.get();
   }
+
   std::vector<SweepPoint> points;
   points.reserve(ns.size());
   for (std::size_t point_index = 0; point_index < ns.size(); ++point_index) {
@@ -33,25 +44,20 @@ std::vector<SweepPoint> run_random_sweep(const std::vector<std::size_t>& ns,
     const graph::Graph g = graphs(n);
     AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
 
+    // Trials are embarrassingly parallel, so the pool sweeps trials and each
+    // trial runs the view engine serially (per-worker grower reuse happens
+    // inside run_views). Seeds derive from (seed, point, trial) by nested
+    // mixing - streams never alias across points at any trial count - so
+    // results are identical for every pool size and schedule.
     std::vector<Measurement> results(options.trials);
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&]() {
-      while (true) {
-        const std::size_t trial = next.fetch_add(1);
-        if (trial >= options.trials) return;
-        // Seed derived from (seed, point, trial): deterministic regardless
-        // of which thread runs which trial.
-        support::Xoshiro256 rng(
-            support::derive_seed(options.seed, point_index * 1'000'003 + trial));
+    const std::uint64_t point_seed = support::derive_seed(options.seed, point_index);
+    pool->for_range(options.trials, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t trial = begin; trial < end; ++trial) {
+        support::Xoshiro256 rng(support::derive_seed(point_seed, trial));
         const graph::IdAssignment ids = graph::IdAssignment::random(n, rng);
         results[trial] = run_assignment(g, ids, algorithm, options.semantics);
       }
-    };
-    std::vector<std::thread> threads;
-    const std::size_t spawn = std::min(workers, options.trials);
-    threads.reserve(spawn);
-    for (std::size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
-    for (auto& t : threads) t.join();
+    });
 
     support::RunningStats avg_stats;
     support::RunningStats max_stats;

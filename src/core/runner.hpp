@@ -11,6 +11,7 @@
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
 #include "local/view_engine.hpp"
+#include "support/thread_pool.hpp"
 
 namespace avglocal::core {
 
@@ -37,8 +38,12 @@ struct SweepOptions {
   std::size_t trials = 32;
   std::uint64_t seed = 42;
   local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads; 0 = hardware concurrency. Ignored when `pool` is set.
   std::size_t threads = 0;
+  /// Optional externally owned worker pool, reused across sweeps. When
+  /// nullptr, the sweep creates one pool of `threads` workers up front and
+  /// reuses it for every point (threads are never created per point).
+  support::ThreadPool* pool = nullptr;
 };
 
 /// Runs the algorithm on `trials` uniformly random identifier permutations

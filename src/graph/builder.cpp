@@ -1,6 +1,8 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <tuple>
 #include <utility>
 
 #include "support/assert.hpp"
@@ -46,7 +48,38 @@ Graph GraphBuilder::build() const {
   for (Vertex u = 0; u < n; ++u) {
     targets.insert(targets.end(), adjacency_[u].begin(), adjacency_[u].end());
   }
-  return Graph(std::move(offsets), std::move(targets));
+
+  // Precompute mirror ports: sort arcs by undirected edge key so the two
+  // arcs of every edge land adjacent, then point each at the other. Gives
+  // Graph::mirror_port its O(1) lookup. Arc indices are stored in 32 bits;
+  // graphs beyond 2^32 arcs would truncate, so reject them explicitly.
+  AVGLOCAL_EXPECTS_MSG(offsets[n] <= std::numeric_limits<std::uint32_t>::max(),
+                       "graph exceeds 2^32 directed arcs");
+  struct Arc {
+    Vertex lo, hi, from;
+    std::uint32_t index;
+  };
+  std::vector<Arc> edge_sorted;
+  edge_sorted.reserve(offsets[n]);
+  for (Vertex u = 0; u < n; ++u) {
+    for (std::size_t p = 0; p < adjacency_[u].size(); ++p) {
+      const Vertex v = adjacency_[u][p];
+      edge_sorted.push_back(Arc{std::min(u, v), std::max(u, v), u,
+                                static_cast<std::uint32_t>(offsets[u] + p)});
+    }
+  }
+  std::sort(edge_sorted.begin(), edge_sorted.end(), [](const Arc& a, const Arc& b) {
+    return std::tie(a.lo, a.hi, a.from) < std::tie(b.lo, b.hi, b.from);
+  });
+  std::vector<std::uint32_t> mirror(offsets[n]);
+  for (std::size_t i = 0; i + 1 < edge_sorted.size(); i += 2) {
+    const Arc& a = edge_sorted[i];
+    const Arc& b = edge_sorted[i + 1];
+    AVGLOCAL_ASSERT(a.lo == b.lo && a.hi == b.hi && a.from != b.from);
+    mirror[a.index] = static_cast<std::uint32_t>(b.index - offsets[b.from]);
+    mirror[b.index] = static_cast<std::uint32_t>(a.index - offsets[a.from]);
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(mirror));
 }
 
 }  // namespace avglocal::graph

@@ -43,18 +43,41 @@ class Graph {
   }
 
   /// The port of v that leads to neighbour u; degree(v) if u is not adjacent.
+  /// Linear in degree(v) - ad-hoc adjacency queries only. Hot paths that
+  /// already hold a (vertex, port) pair should use mirror_port instead.
   std::size_t port_to(Vertex v, Vertex u) const noexcept;
 
   /// True when u and v are adjacent.
   bool has_edge(Vertex u, Vertex v) const noexcept { return port_to(u, v) != degree(u); }
 
+  /// Number of directed arcs (2 * edge_count). Arc indices returned by
+  /// arc_index enumerate [0, arc_count).
+  std::size_t arc_count() const noexcept { return targets_.size(); }
+
+  /// Flat CSR index of the arc leaving v on `port`: offsets[v] + port.
+  /// Stable identifier for per-arc state (message slots, mirrors).
+  std::size_t arc_index(Vertex v, std::size_t port) const noexcept {
+    return offsets_[v] + port;
+  }
+
+  /// The port on the far endpoint that leads back along the same edge:
+  /// with u = neighbour(v, port), neighbour(u, mirror_port(v, port)) == v.
+  /// O(1); precomputed by GraphBuilder.
+  std::size_t mirror_port(Vertex v, std::size_t port) const noexcept {
+    return mirror_port_[offsets_[v] + port];
+  }
+
  private:
   friend class GraphBuilder;
-  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> targets)
-      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> targets,
+        std::vector<std::uint32_t> mirror_port)
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        mirror_port_(std::move(mirror_port)) {}
 
-  std::vector<std::size_t> offsets_;  // size n+1
-  std::vector<Vertex> targets_;       // size 2m, grouped by source vertex
+  std::vector<std::size_t> offsets_;        // size n+1
+  std::vector<Vertex> targets_;             // size 2m, grouped by source vertex
+  std::vector<std::uint32_t> mirror_port_;  // size 2m, mirror_port_[arc]
 };
 
 }  // namespace avglocal::graph

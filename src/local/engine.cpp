@@ -1,13 +1,21 @@
 #include "local/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "local/message_arena.hpp"
 #include "support/assert.hpp"
 
 namespace avglocal::local {
 
+// Flat-memory engine: the per-round in-flight state lives in two
+// MessageArenas (one being written, one being delivered) indexed by the
+// graph's CSR arc offsets, and every delivery resolves the sender-side slot
+// through a precomputed O(1) mirror-arc table. All buffers - arenas, inbox,
+// contexts - are allocated during construction/warm-up and reused, so the
+// steady-state round loop performs no heap allocations.
 class Engine {
  public:
   Engine(const graph::Graph& g, const graph::IdAssignment& ids, const AlgorithmFactory& factory,
@@ -17,32 +25,46 @@ class Engine {
     const std::size_t n = g.vertex_count();
     contexts_.resize(n);
     algorithms_.reserve(n);
+    std::size_t max_degree = 0;
     for (graph::Vertex v = 0; v < n; ++v) {
       contexts_[v].id_ = ids.id_of(v);
       if (options.knowledge == Knowledge::kKnowsN) contexts_[v].n_ = n;
-      contexts_[v].outbox_.resize(g.degree(v));
+      contexts_[v].degree_ = g.degree(v);
+      contexts_[v].outgoing_ = &outgoing_;
+      contexts_[v].arc_base_ = g.arc_index(v, 0);
+      max_degree = std::max(max_degree, g.degree(v));
       algorithms_.push_back(factory());
       AVGLOCAL_REQUIRE_MSG(algorithms_.back() != nullptr, "algorithm factory returned null");
     }
-    // peer_port_[v][q]: the sender-side port p such that messages queued by
-    // u = neighbour(v, q) on port p arrive at v on port q.
-    peer_port_.resize(n);
+    // in_slot_[arc(v, q)]: the sender-side arc whose payload arrives at v on
+    // port q - the mirror arc, resolved once via the graph's O(1) table.
+    // 32 bits per entry (the builder rejects graphs over 2^32 arcs).
+    in_slot_.resize(g.arc_count());
     for (graph::Vertex v = 0; v < n; ++v) {
-      peer_port_[v].resize(g.degree(v));
       for (std::size_t q = 0; q < g.degree(v); ++q) {
         const graph::Vertex u = g.neighbour(v, q);
-        peer_port_[v][q] = g.port_to(u, v);
-        AVGLOCAL_ASSERT(peer_port_[v][q] < g.degree(u));
+        in_slot_[g.arc_index(v, q)] =
+            static_cast<std::uint32_t>(g.arc_index(u, g.mirror_port(v, q)));
       }
     }
+    arena_a_.attach(g.arc_count());
+    arena_b_.attach(g.arc_count());
+    outgoing_ = &arena_a_;
+    delivering_ = &arena_b_;
+    inbox_.resize(max_degree);
   }
+
+  // Contexts hold a pointer to this object's outgoing_ member; copying or
+  // moving would leave them sending through the original engine.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   RunResult run() {
     const std::size_t n = g_->vertex_count();
     std::size_t outputs_done = 0;
     RunResult result;
 
-    // Round 0.
+    // Round 0: on_start sends land in *outgoing_.
     for (graph::Vertex v = 0; v < n; ++v) {
       contexts_[v].round_ = 0;
       algorithms_[v]->on_start(contexts_[v]);
@@ -51,34 +73,36 @@ class Engine {
     record_round(0, outputs_done);
 
     std::size_t round = 0;
-    // in_flight[v] holds the outboxes captured at the end of the previous
-    // round, so deliveries within a round are fully synchronous.
-    std::vector<std::vector<std::optional<Payload>>> in_flight(n);
     while (outputs_done < n) {
       ++round;
       if (round > options_.max_rounds) {
         throw std::runtime_error("message engine: round cap exceeded");
       }
-      for (graph::Vertex v = 0; v < n; ++v) {
-        in_flight[v] = std::exchange(contexts_[v].outbox_,
-                                     std::vector<std::optional<Payload>>(g_->degree(v)));
-      }
+      // Flip the double buffer: last round's sends become this round's
+      // deliveries, and the cleared arena collects this round's sends.
+      std::swap(outgoing_, delivering_);
+      outgoing_->begin_round();
+
       const std::size_t outputs_before = outputs_done;
-      std::vector<Message> inbox;
       for (graph::Vertex v = 0; v < n; ++v) {
-        inbox.clear();
-        for (std::size_t q = 0; q < g_->degree(v); ++q) {
-          const graph::Vertex u = g_->neighbour(v, q);
-          auto& slot = in_flight[u][peer_port_[v][q]];
-          if (slot.has_value()) {
-            round_messages_ += 1;
-            round_words_ += slot->size();
-            inbox.push_back(Message{q, std::move(*slot)});
-          }
+        const std::size_t degree = g_->degree(v);
+        const std::size_t arc_base = contexts_[v].arc_base_;
+        std::size_t count = 0;
+        for (std::size_t q = 0; q < degree; ++q) {
+          const std::size_t slot = in_slot_[arc_base + q];
+          if (!delivering_->has(slot)) continue;
+          const auto words = delivering_->payload(slot);
+          // Zero-copy delivery: the span aliases the delivering arena,
+          // which no algorithm can write this round (sends go to the other
+          // buffer), and the Message contract bounds its lifetime to
+          // on_round.
+          inbox_[count].from_port = q;
+          inbox_[count].payload = words;
+          ++count;
         }
         contexts_[v].round_ = round;
         const bool had_output = contexts_[v].has_output();
-        algorithms_[v]->on_round(contexts_[v], inbox);
+        algorithms_[v]->on_round(contexts_[v], {inbox_.data(), count});
         if (!had_output && contexts_[v].has_output()) ++outputs_done;
       }
       record_round(round, outputs_done - outputs_before);
@@ -97,23 +121,30 @@ class Engine {
   }
 
  private:
+  // Per-round message/word totals come straight from the delivering arena:
+  // the mirror mapping is a bijection on arcs, so every pushed message is
+  // delivered exactly once during the round. (Round 0 delivers nothing and
+  // reads the freshly attached, empty arena.)
   void record_round(std::size_t round, std::size_t outputs_set) {
-    total_messages_ += round_messages_;
-    total_words_ += round_words_;
+    const std::uint64_t messages = delivering_->message_count();
+    const std::uint64_t words = delivering_->word_count();
+    total_messages_ += messages;
+    total_words_ += words;
     if (options_.trace != nullptr) {
-      options_.trace->record(RoundStats{round, round_messages_, round_words_, outputs_set});
+      options_.trace->record(RoundStats{round, messages, words, outputs_set});
     }
-    round_messages_ = 0;
-    round_words_ = 0;
   }
 
   const graph::Graph* g_;
   EngineOptions options_;
   std::vector<NodeContext> contexts_;
   std::vector<std::unique_ptr<Algorithm>> algorithms_;
-  std::vector<std::vector<std::size_t>> peer_port_;
-  std::uint64_t round_messages_ = 0;
-  std::uint64_t round_words_ = 0;
+  std::vector<std::uint32_t> in_slot_;  // per arc: mirror arc to read from
+  MessageArena arena_a_;
+  MessageArena arena_b_;
+  MessageArena* outgoing_ = nullptr;    // collects this round's sends
+  MessageArena* delivering_ = nullptr;  // holds last round's sends
+  std::vector<Message> inbox_;          // reused; first `count` entries live
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_words_ = 0;
 };

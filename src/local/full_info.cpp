@@ -160,12 +160,11 @@ class FullInfoNode final : public Algorithm {
     }
 
     view.ids = order;
-    view.ports.resize(order.size());
     bool all_edges_known = true;
     for (std::size_t local = 0; local < order.size(); ++local) {
       const std::uint64_t x = order[local];
       const KnownVertex& kv = known_.at(x);
-      view.ports[local].assign(kv.degree, kUnknownTarget);
+      view.ports.add_row(kv.degree);
       // Exact placements from x's own facts.
       for (const auto& [port, nbr] : kv.port_facts) {
         const auto nit = local_of.find(nbr);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace avglocal::local {
@@ -12,11 +13,14 @@ namespace avglocal::local {
 /// Message payload: an arbitrary-length sequence of 64-bit words.
 using Payload = std::vector<std::uint64_t>;
 
-/// A message as seen by its receiver.
+/// A message as seen by its receiver. The payload is a zero-copy view into
+/// the engine's delivery arena: valid for the duration of the on_round call
+/// that received it, no longer. Algorithms that need a word sequence past
+/// the round must copy it (e.g. Decoder::u64_vector).
 struct Message {
   /// The receiver's port on which the message arrived.
   std::size_t from_port = 0;
-  Payload payload;
+  std::span<const std::uint64_t> payload;
 };
 
 }  // namespace avglocal::local

@@ -1,0 +1,45 @@
+#include "local/message_arena.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace avglocal::local {
+
+void MessageArena::attach(std::size_t arc_count) {
+  slots_.assign(arc_count, Slot{});
+  present_.assign((arc_count + 63) / 64, 0);
+  used_words_ = 0;
+  messages_ = 0;
+}
+
+void MessageArena::begin_round() noexcept {
+  std::fill(present_.begin(), present_.end(), 0);
+  used_words_ = 0;
+  messages_ = 0;
+}
+
+bool MessageArena::push(std::size_t arc, std::span<const std::uint64_t> words) {
+  // Slot::length is 32 bits; reject rather than truncate (mirrors the
+  // 2^32-arc guard in GraphBuilder::build).
+  AVGLOCAL_EXPECTS_MSG(words.size() <= std::numeric_limits<std::uint32_t>::max(),
+                       "payload exceeds 2^32 words");
+  const std::uint64_t bit = std::uint64_t{1} << (arc & 63);
+  std::uint64_t& mask = present_[arc >> 6];
+  if (mask & bit) return false;
+  mask |= bit;
+  const std::size_t needed = used_words_ + words.size();
+  if (needed > words_.size()) {
+    // Geometric growth: reallocations stop once the busiest round has been
+    // seen, which is what makes rounds allocation-free at steady state.
+    words_.resize(std::max(needed, words_.size() * 2));
+  }
+  std::copy(words.begin(), words.end(), words_.begin() + static_cast<std::ptrdiff_t>(used_words_));
+  slots_[arc] = Slot{used_words_, static_cast<std::uint32_t>(words.size())};
+  used_words_ = needed;
+  ++messages_;
+  return true;
+}
+
+}  // namespace avglocal::local

@@ -1,0 +1,60 @@
+// Flat, reusable storage for one round of in-flight messages.
+//
+// The engine keeps two arenas and ping-pongs between them: algorithms write
+// the round-k sends into one while the engine delivers the round-(k-1)
+// sends from the other. A slot exists per directed arc of the graph (CSR
+// arc index = Graph::arc_index(v, port)); presence is a bitmask, payload
+// words live back-to-back in a single buffer. begin_round() resets cursors
+// without releasing capacity, so after a warm-up phase in which the buffers
+// grow to the round high-water mark, rounds perform zero heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace avglocal::local {
+
+class MessageArena {
+ public:
+  /// Sizes the per-arc tables. Called once per run; clears everything.
+  void attach(std::size_t arc_count);
+
+  /// Forgets all messages; keeps capacity. O(arc_count / 64).
+  void begin_round() noexcept;
+
+  /// Stores a payload in `arc`'s slot; false if the slot is already taken
+  /// this round (one message per port per round).
+  bool push(std::size_t arc, std::span<const std::uint64_t> words);
+
+  bool has(std::size_t arc) const noexcept {
+    return (present_[arc >> 6] >> (arc & 63)) & 1u;
+  }
+
+  /// Payload stored in `arc`'s slot; valid only when has(arc), and only
+  /// until the next begin_round/attach.
+  std::span<const std::uint64_t> payload(std::size_t arc) const noexcept {
+    const Slot& slot = slots_[arc];
+    return {words_.data() + slot.offset, slot.length};
+  }
+
+  /// Messages pushed since begin_round.
+  std::size_t message_count() const noexcept { return messages_; }
+
+  /// Total payload words pushed since begin_round.
+  std::size_t word_count() const noexcept { return used_words_; }
+
+ private:
+  struct Slot {
+    std::size_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  std::vector<std::uint64_t> words_;    // payload arena, first used_words_ live
+  std::vector<Slot> slots_;             // per arc, valid where present
+  std::vector<std::uint64_t> present_;  // bitmask, one bit per arc
+  std::size_t used_words_ = 0;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace avglocal::local

@@ -2,18 +2,20 @@
 
 #include <stdexcept>
 
+#include "support/assert.hpp"
+
 namespace avglocal::local {
 
-void NodeContext::send(std::size_t port, Payload payload) {
-  if (port >= outbox_.size()) throw std::invalid_argument("send: port out of range");
-  if (outbox_[port].has_value()) {
+void NodeContext::send(std::size_t port, std::span<const std::uint64_t> payload) {
+  if (port >= degree_) throw std::invalid_argument("send: port out of range");
+  AVGLOCAL_ASSERT(outgoing_ != nullptr && *outgoing_ != nullptr);
+  if (!(*outgoing_)->push(arc_base_ + port, payload)) {
     throw std::invalid_argument("send: one message per port per round");
   }
-  outbox_[port] = std::move(payload);
 }
 
-void NodeContext::broadcast(const Payload& payload) {
-  for (std::size_t port = 0; port < outbox_.size(); ++port) send(port, payload);
+void NodeContext::broadcast(std::span<const std::uint64_t> payload) {
+  for (std::size_t port = 0; port < degree_; ++port) send(port, payload);
 }
 
 void NodeContext::output(std::int64_t value) {

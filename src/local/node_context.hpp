@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "local/message.hpp"
+#include "local/message_arena.hpp"
 
 namespace avglocal::local {
 
@@ -15,13 +16,17 @@ class Engine;
 /// the knowledge the LOCAL model grants: its own identifier, its degree,
 /// the round number, and - only when the engine runs in knows-n mode - the
 /// network size.
+///
+/// Sends are written straight into the engine's flat message arena (no
+/// per-node outbox buffers): an algorithm that assembles its payloads in
+/// reused storage sends without any heap allocation.
 class NodeContext {
  public:
   /// This node's identifier.
   std::uint64_t id() const noexcept { return id_; }
 
   /// Number of ports (incident edges).
-  std::size_t degree() const noexcept { return outbox_.size(); }
+  std::size_t degree() const noexcept { return degree_; }
 
   /// Network size, engaged only in Knowledge::kKnowsN runs.
   std::optional<std::size_t> n() const noexcept { return n_; }
@@ -29,12 +34,14 @@ class NodeContext {
   /// Current round: 0 during on_start, k during the k-th on_round.
   std::size_t round() const noexcept { return round_; }
 
-  /// Queues a message on `port` for delivery next round. At most one message
-  /// per port per round; violations throw std::invalid_argument.
-  void send(std::size_t port, Payload payload);
+  /// Queues a message on `port` for delivery next round; the words are
+  /// copied immediately, so the span may point at caller-owned scratch. At
+  /// most one message per port per round; violations throw
+  /// std::invalid_argument.
+  void send(std::size_t port, std::span<const std::uint64_t> payload);
 
   /// Queues the same payload on every port.
-  void broadcast(const Payload& payload);
+  void broadcast(std::span<const std::uint64_t> payload);
 
   /// Commits this node's output at the current round. A node outputs exactly
   /// once; a second call throws std::logic_error. Per the unknown-n variant
@@ -55,7 +62,11 @@ class NodeContext {
   std::uint64_t id_ = 0;
   std::optional<std::size_t> n_;
   std::size_t round_ = 0;
-  std::vector<std::optional<Payload>> outbox_;
+  std::size_t degree_ = 0;
+  /// Engine-owned view of "the arena collecting this round's sends"; the
+  /// engine retargets the pointee when it flips its double buffer.
+  MessageArena* const* outgoing_ = nullptr;
+  std::size_t arc_base_ = 0;  ///< Graph::arc_index(v, 0) of this node.
   std::optional<std::int64_t> output_;
   std::size_t output_round_ = 0;
 };

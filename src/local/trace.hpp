@@ -16,9 +16,13 @@ struct RoundStats {
 };
 
 /// Collects RoundStats for every executed round (round 0 = on_start).
+/// record() is virtual so instrumentation (allocation probes, live dumps)
+/// can observe the engine between rounds without buffering.
 class Trace {
  public:
-  void record(const RoundStats& stats) { rounds_.push_back(stats); }
+  virtual ~Trace() = default;
+
+  virtual void record(const RoundStats& stats) { rounds_.push_back(stats); }
 
   const std::vector<RoundStats>& rounds() const noexcept { return rounds_; }
 

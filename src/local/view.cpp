@@ -80,13 +80,26 @@ BallGrower::BallGrower(const graph::Graph& g, const graph::IdAssignment& ids, gr
   AVGLOCAL_EXPECTS(root < g.vertex_count());
   AVGLOCAL_EXPECTS_MSG(scratch.local_of_.size() == g.vertex_count(),
                        "scratch sized for a different graph");
-  add_vertex(root, 0);
-  frontier_.push_back(root);
-  view_.covers_graph = (unresolved_ports_ == 0);
+  reset(root);
 }
 
 BallGrower::~BallGrower() {
   for (graph::Vertex v : global_of_) scratch_->local_of_[v] = kUnknownTarget;
+}
+
+void BallGrower::reset(graph::Vertex root) {
+  AVGLOCAL_EXPECTS(root < g_->vertex_count());
+  for (graph::Vertex v : global_of_) scratch_->local_of_[v] = kUnknownTarget;
+  global_of_.clear();
+  frontier_.clear();
+  view_.radius = 0;
+  view_.ids.clear();
+  view_.dist.clear();
+  view_.ports.clear();
+  unresolved_ports_ = 0;
+  add_vertex(root, 0);
+  frontier_.push_back(root);
+  view_.covers_graph = (unresolved_ports_ == 0);
 }
 
 LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
@@ -95,19 +108,19 @@ LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
   global_of_.push_back(v);
   view_.ids.push_back(ids_->id_of(v));
   view_.dist.push_back(dist);
-  view_.ports.emplace_back(g_->degree(v), kUnknownTarget);
+  view_.ports.add_row(g_->degree(v));
   unresolved_ports_ += g_->degree(v);
   return local;
 }
 
-void BallGrower::resolve_edge(graph::Vertex a, graph::Vertex b) {
+void BallGrower::resolve_edge(graph::Vertex a, std::size_t port_a) {
+  const graph::Vertex b = g_->neighbour(a, port_a);
   const LocalVertex la = scratch_->local_of_[a];
   const LocalVertex lb = scratch_->local_of_[b];
   AVGLOCAL_ASSERT(la != kUnknownTarget && lb != kUnknownTarget);
-  const std::size_t pa = g_->port_to(a, b);
-  const std::size_t pb = g_->port_to(b, a);
-  if (view_.ports[la][pa] == kUnknownTarget) {
-    view_.ports[la][pa] = lb;
+  const std::size_t pb = g_->mirror_port(a, port_a);
+  if (view_.ports[la][port_a] == kUnknownTarget) {
+    view_.ports[la][port_a] = lb;
     --unresolved_ports_;
   }
   if (view_.ports[lb][pb] == kUnknownTarget) {
@@ -120,7 +133,7 @@ void BallGrower::grow() {
   ++view_.radius;
   if (view_.covers_graph) return;
 
-  std::vector<graph::Vertex> next_frontier;
+  next_frontier_.clear();
   if (semantics_ == ViewSemantics::kInducedBall) {
     // Add the next layer; an edge becomes visible as soon as both endpoints
     // are in the ball.
@@ -128,9 +141,10 @@ void BallGrower::grow() {
       for (graph::Vertex b : g_->neighbours(a)) {
         if (scratch_->local_of_[b] == kUnknownTarget) {
           add_vertex(b, view_.radius);
-          next_frontier.push_back(b);
-          for (graph::Vertex c : g_->neighbours(b)) {
-            if (scratch_->local_of_[c] != kUnknownTarget) resolve_edge(b, c);
+          next_frontier_.push_back(b);
+          const auto nbrs = g_->neighbours(b);
+          for (std::size_t pb = 0; pb < nbrs.size(); ++pb) {
+            if (scratch_->local_of_[nbrs[pb]] != kUnknownTarget) resolve_edge(b, pb);
           }
         }
       }
@@ -140,16 +154,17 @@ void BallGrower::grow() {
     // layer plus every edge incident to the previous frontier (distance r),
     // i.e. edges with min endpoint distance <= r.
     for (graph::Vertex a : frontier_) {
-      for (graph::Vertex b : g_->neighbours(a)) {
-        if (scratch_->local_of_[b] == kUnknownTarget) {
-          add_vertex(b, view_.radius);
-          next_frontier.push_back(b);
+      const auto nbrs = g_->neighbours(a);
+      for (std::size_t pa = 0; pa < nbrs.size(); ++pa) {
+        if (scratch_->local_of_[nbrs[pa]] == kUnknownTarget) {
+          add_vertex(nbrs[pa], view_.radius);
+          next_frontier_.push_back(nbrs[pa]);
         }
-        resolve_edge(a, b);
+        resolve_edge(a, pa);
       }
     }
   }
-  frontier_ = std::move(next_frontier);
+  std::swap(frontier_, next_frontier_);
   view_.covers_graph = (unresolved_ports_ == 0);
 }
 

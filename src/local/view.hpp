@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,6 +36,52 @@ using LocalVertex = std::uint32_t;
 /// Sentinel for a port whose far end is not (yet) visible.
 inline constexpr LocalVertex kUnknownTarget = static_cast<LocalVertex>(-1);
 
+/// Jagged port rows stored in one flat CSR buffer: row v holds one slot per
+/// incident edge of the v-th ball vertex. Rows are appended in local-vertex
+/// order; clear() keeps the underlying capacity, so a table reused across
+/// balls stops allocating once it has seen the largest one.
+class PortTable {
+ public:
+  /// Number of rows (== ball vertices added so far).
+  std::size_t rows() const noexcept { return offsets_.size() - 1; }
+
+  std::size_t row_size(std::size_t row) const noexcept {
+    return offsets_[row + 1] - offsets_[row];
+  }
+
+  std::span<const LocalVertex> operator[](std::size_t row) const noexcept {
+    return {targets_.data() + offsets_[row], targets_.data() + offsets_[row + 1]};
+  }
+
+  std::span<LocalVertex> operator[](std::size_t row) noexcept {
+    return {targets_.data() + offsets_[row], targets_.data() + offsets_[row + 1]};
+  }
+
+  /// Appends a row of `degree` slots, all kUnknownTarget.
+  void add_row(std::size_t degree) {
+    targets_.resize(targets_.size() + degree, kUnknownTarget);
+    offsets_.push_back(targets_.size());
+  }
+
+  /// clear() + `count` rows of `degree` slots each.
+  void assign_rows(std::size_t count, std::size_t degree) {
+    clear();
+    offsets_.reserve(count + 1);
+    targets_.assign(count * degree, kUnknownTarget);
+    for (std::size_t row = 1; row <= count; ++row) offsets_.push_back(row * degree);
+  }
+
+  /// Removes all rows; keeps capacity.
+  void clear() noexcept {
+    offsets_.resize(1);
+    targets_.clear();
+  }
+
+ private:
+  std::vector<std::size_t> offsets_ = {0};  // size rows+1
+  std::vector<LocalVertex> targets_;        // flat row storage
+};
+
 /// The knowledge of one vertex after exploring radius `radius`.
 ///
 /// Vertices are indexed locally in BFS discovery order (root first, then by
@@ -53,7 +100,7 @@ struct BallView {
   std::vector<int> dist;
 
   /// ports[local][p] = local index behind port p, or kUnknownTarget.
-  std::vector<std::vector<LocalVertex>> ports;
+  PortTable ports;
 
   /// True when the view provably covers the whole graph: every seen vertex
   /// has all of its edges visible (so no vertex or edge can be missing).
@@ -120,6 +167,12 @@ class BallGrower {
   BallGrower& operator=(const BallGrower&) = delete;
   ~BallGrower();
 
+  /// Re-roots the grower at `root`, back at radius 0, reusing every buffer
+  /// (view arrays, frontier, scratch). Running one grower over many roots
+  /// through reset() is allocation-free once the buffers have grown to the
+  /// largest ball seen - the hot path of sweep measurements.
+  void reset(graph::Vertex root);
+
   const BallView& view() const noexcept { return view_; }
 
   /// Grows the ball by one radius step. No-op (except the radius counter)
@@ -127,7 +180,7 @@ class BallGrower {
   void grow();
 
  private:
-  void resolve_edge(graph::Vertex a, graph::Vertex b);
+  void resolve_edge(graph::Vertex a, std::size_t port_a);
   LocalVertex add_vertex(graph::Vertex v, int dist);
 
   const graph::Graph* g_;
@@ -135,8 +188,9 @@ class BallGrower {
   ViewSemantics semantics_;
   Scratch* scratch_;
   BallView view_;
-  std::vector<graph::Vertex> global_of_;  // local -> global vertex
-  std::vector<graph::Vertex> frontier_;   // vertices at distance == radius
+  std::vector<graph::Vertex> global_of_;      // local -> global vertex
+  std::vector<graph::Vertex> frontier_;       // vertices at distance == radius
+  std::vector<graph::Vertex> next_frontier_;  // reused across grow() calls
   std::size_t unresolved_ports_ = 0;
 };
 

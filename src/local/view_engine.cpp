@@ -1,6 +1,8 @@
 #include "local/view_engine.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "support/assert.hpp"
 
@@ -8,15 +10,13 @@ namespace avglocal::local {
 
 namespace {
 
-std::pair<std::int64_t, std::size_t> run_one(const graph::Graph& g,
-                                             const graph::IdAssignment& ids, graph::Vertex v,
+/// Runs one vertex on an already reset grower.
+std::pair<std::int64_t, std::size_t> run_one(const graph::Graph& g, BallGrower& grower,
                                              const ViewAlgorithmFactory& factory,
-                                             const ViewEngineOptions& options,
-                                             BallGrower::Scratch& scratch) {
+                                             const ViewEngineOptions& options) {
   const std::size_t cap = options.max_radius == 0 ? g.vertex_count() : options.max_radius;
   const auto algorithm = factory();
   AVGLOCAL_REQUIRE_MSG(algorithm != nullptr, "view algorithm factory returned null");
-  BallGrower grower(g, ids, v, options.semantics, scratch);
   while (true) {
     if (const auto output = algorithm->on_view(grower.view())) {
       return {*output, static_cast<std::size_t>(grower.view().radius)};
@@ -28,20 +28,56 @@ std::pair<std::int64_t, std::size_t> run_one(const graph::Graph& g,
   }
 }
 
+/// Sweeps [begin, end), reusing the grower across vertices.
+void run_range(const graph::Graph& g, BallGrower& grower, const ViewAlgorithmFactory& factory,
+               const ViewEngineOptions& options, graph::Vertex begin, graph::Vertex end,
+               RunResult& result) {
+  for (graph::Vertex v = begin; v < end; ++v) {
+    grower.reset(v);
+    const auto [output, radius] = run_one(g, grower, factory, options);
+    result.outputs[v] = output;
+    result.radii[v] = radius;
+  }
+}
+
 }  // namespace
 
 RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
                     const ViewAlgorithmFactory& factory, const ViewEngineOptions& options) {
   AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  const std::size_t n = g.vertex_count();
   RunResult result;
-  result.outputs.resize(g.vertex_count());
-  result.radii.resize(g.vertex_count());
-  BallGrower::Scratch scratch(g.vertex_count());
-  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
-    const auto [output, radius] = run_one(g, ids, v, factory, options, scratch);
-    result.outputs[v] = output;
-    result.radii[v] = radius;
+  result.outputs.resize(n);
+  result.radii.resize(n);
+  if (n == 0) return result;
+
+  support::ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->size() == 1 || n == 1) {
+    BallGrower::Scratch scratch(n);
+    BallGrower grower(g, ids, 0, options.semantics, scratch);
+    run_range(g, grower, factory, options, 0, static_cast<graph::Vertex>(n), result);
+    return result;
   }
+
+  // Parallel sweep: vertices are independent; each worker keeps one grower
+  // plus scratch alive across all chunks it is handed. Outputs go to
+  // per-vertex slots, so the result is identical for every pool size.
+  struct WorkerState {
+    BallGrower::Scratch scratch;
+    BallGrower grower;
+    WorkerState(const graph::Graph& g, const graph::IdAssignment& ids, ViewSemantics semantics)
+        : scratch(g.vertex_count()), grower(g, ids, 0, semantics, scratch) {}
+  };
+  std::vector<std::unique_ptr<WorkerState>> states(pool->size());
+  // Chunks big enough to amortise the scheduling cursor, small enough to
+  // balance the heavy tail (ball sizes vary by orders of magnitude).
+  const std::size_t grain = std::max<std::size_t>(16, n / (8 * pool->size()));
+  pool->for_range(n, grain, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+    auto& state = states[worker];
+    if (!state) state = std::make_unique<WorkerState>(g, ids, options.semantics);
+    run_range(g, state->grower, factory, options, static_cast<graph::Vertex>(begin),
+              static_cast<graph::Vertex>(end), result);
+  });
   return result;
 }
 
@@ -53,7 +89,8 @@ std::pair<std::int64_t, std::size_t> run_view_on_vertex(const graph::Graph& g,
   AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
   AVGLOCAL_EXPECTS(v < g.vertex_count());
   BallGrower::Scratch scratch(g.vertex_count());
-  return run_one(g, ids, v, factory, options, scratch);
+  BallGrower grower(g, ids, v, options.semantics, scratch);
+  return run_one(g, grower, factory, options);
 }
 
 }  // namespace avglocal::local

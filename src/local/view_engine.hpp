@@ -16,6 +16,7 @@
 #include "graph/ids.hpp"
 #include "local/metrics.hpp"
 #include "local/view.hpp"
+#include "support/thread_pool.hpp"
 
 namespace avglocal::local {
 
@@ -42,9 +43,21 @@ struct ViewEngineOptions {
   /// no terminating algorithm can exceed (the ball covers the graph well
   /// before). Exceeding the cap throws std::runtime_error.
   std::size_t max_radius = 0;
+
+  /// Worker pool to sweep vertices in parallel (not owned; may be shared
+  /// across calls). nullptr or a size-1 pool runs the serial path. Results
+  /// are bit-identical regardless of pool size: vertices are independent and
+  /// outputs are written to per-vertex slots. With a pool, the factory (and
+  /// the algorithms it creates) are invoked from multiple threads at once,
+  /// so both must be safe to call concurrently - factories capturing shared
+  /// mutable state need the serial path or their own synchronisation.
+  support::ThreadPool* pool = nullptr;
 };
 
 /// Runs the algorithm on every vertex of g and returns outputs and radii.
+/// Serially, one BallGrower and its buffers are reused across all vertices
+/// (allocation-free steady state); with options.pool, vertices are swept in
+/// parallel with per-worker growers and scratch.
 RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
                     const ViewAlgorithmFactory& factory, const ViewEngineOptions& options = {});
 

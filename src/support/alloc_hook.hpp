@@ -1,0 +1,86 @@
+// Opt-in global allocation counting, for tests and benches that must prove
+// a hot path is allocation-free.
+//
+// The library never replaces the global allocator. A binary that wants
+// counting places AVGLOCAL_DEFINE_ALLOC_HOOK() at namespace scope in
+// exactly one translation unit; that defines replacement global
+// operator new/delete which tick the counters below. Everything else reads
+// alloc_counts() - which simply stays at zero when no hook is installed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace avglocal::support {
+
+struct AllocCounts {
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace alloc_hook_detail {
+inline std::atomic<std::uint64_t> g_allocations{0};
+inline std::atomic<std::uint64_t> g_bytes{0};
+
+inline void note(std::size_t bytes) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+}  // namespace alloc_hook_detail
+
+/// Totals since process start (zero when no hook is installed).
+inline AllocCounts alloc_counts() noexcept {
+  return {alloc_hook_detail::g_allocations.load(std::memory_order_relaxed),
+          alloc_hook_detail::g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace avglocal::support
+
+// NOLINTBEGIN - replacement allocation functions must live at global scope.
+// Covers the plain, array, aligned, and nothrow families so nothing the
+// engine could allocate escapes the counters.
+#define AVGLOCAL_DEFINE_ALLOC_HOOK()                                                          \
+  void* operator new(std::size_t size) {                                                      \
+    ::avglocal::support::alloc_hook_detail::note(size);                                       \
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;                                \
+    throw std::bad_alloc{};                                                                   \
+  }                                                                                           \
+  void* operator new[](std::size_t size) {                                                    \
+    ::avglocal::support::alloc_hook_detail::note(size);                                       \
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;                                \
+    throw std::bad_alloc{};                                                                   \
+  }                                                                                           \
+  void* operator new(std::size_t size, std::align_val_t align) {                              \
+    ::avglocal::support::alloc_hook_detail::note(size);                                       \
+    /* C11 aligned_alloc requires size to be a multiple of the alignment. */                  \
+    const std::size_t a = static_cast<std::size_t>(align);                                    \
+    if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;                    \
+    throw std::bad_alloc{};                                                                   \
+  }                                                                                           \
+  void* operator new[](std::size_t size, std::align_val_t align) {                            \
+    return ::operator new(size, align);                                                       \
+  }                                                                                           \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {                      \
+    ::avglocal::support::alloc_hook_detail::note(size);                                       \
+    return std::malloc(size != 0 ? size : 1);                                                 \
+  }                                                                                           \
+  void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {                    \
+    ::avglocal::support::alloc_hook_detail::note(size);                                       \
+    return std::malloc(size != 0 ? size : 1);                                                 \
+  }                                                                                           \
+  void operator delete(void* ptr) noexcept { std::free(ptr); }                                \
+  void operator delete[](void* ptr) noexcept { std::free(ptr); }                              \
+  void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }                   \
+  void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }                 \
+  void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }              \
+  void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }            \
+  void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); } \
+  void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {                 \
+    std::free(ptr);                                                                           \
+  }                                                                                           \
+  void operator delete(void* ptr, const std::nothrow_t&) noexcept { std::free(ptr); }         \
+  void operator delete[](void* ptr, const std::nothrow_t&) noexcept { std::free(ptr); }       \
+  static_assert(true, "require a trailing semicolon")
+// NOLINTEND

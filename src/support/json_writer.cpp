@@ -1,0 +1,120 @@
+#include "support/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace avglocal::support {
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::escape_into(std::string_view text) {
+  out_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  escape_into(name);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  escape_into(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  // JSON has no inf/nan tokens; null keeps the document parseable.
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
+  out_.append(buf, ec == std::errc{} ? end : buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
+  out_.append(buf, ec == std::errc{} ? end : buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
+  out_.append(buf, ec == std::errc{} ? end : buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+}  // namespace avglocal::support

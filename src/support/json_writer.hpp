@@ -1,0 +1,48 @@
+// Minimal JSON emitter for machine-readable artefacts (bench reports).
+//
+// Build documents with begin_object/begin_array + key/value calls; commas
+// and nesting are tracked internally, and str() returns the finished text.
+// Strings are escaped; doubles render with enough digits to round-trip.
+// No external dependency - the library must stay self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avglocal::support {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+
+  /// The document so far. Callers are responsible for having closed every
+  /// begin_* scope.
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void before_value();
+  void escape_into(std::string_view text);
+
+  std::string out_;
+  /// One entry per open scope: true once the scope holds >= 1 element.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace avglocal::support

@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace avglocal::support {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : worker_count_(threads != 0 ? threads
+                                 : std::max<std::size_t>(1, std::thread::hardware_concurrency())) {
+  threads_.reserve(worker_count_ - 1);
+  try {
+    for (std::size_t w = 1; w < worker_count_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // Thread creation failed partway (resource exhaustion): shut down the
+    // workers that did start, or their joinable destructors would terminate.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(std::size_t worker) {
+  try {
+    std::size_t begin;
+    while ((begin = cursor_.fetch_add(grain_, std::memory_order_relaxed)) < count_) {
+      (*fn_)(worker, begin, std::min(begin + grain_, count_));
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    // Drain the remaining chunks so other workers stop quickly.
+    cursor_.store(count_, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_chunks(worker);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++helpers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::for_range(std::size_t count, std::size_t grain, const RangeFn& fn) {
+  AVGLOCAL_EXPECTS_MSG(grain >= 1, "for_range: grain must be positive");
+  if (count == 0) return;
+  // One job at a time: concurrent or re-entrant for_range would clobber the
+  // shared job state, so fail loudly instead.
+  AVGLOCAL_REQUIRE_MSG(!job_active_.exchange(true),
+                       "for_range: pool already running a job (concurrent or nested call)");
+  if (worker_count_ == 1) {
+    // Inline fast path: no helpers, no synchronisation.
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+      try {
+        fn(0, begin, std::min(begin + grain, count));
+      } catch (...) {
+        job_active_.store(false);
+        throw;
+      }
+    }
+    job_active_.store(false);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    helpers_done_ = 0;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  run_chunks(0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return helpers_done_ == worker_count_ - 1; });
+    fn_ = nullptr;
+    job_active_.store(false);
+    if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  }
+}
+
+}  // namespace avglocal::support

@@ -1,0 +1,70 @@
+// A persistent worker pool for data-parallel loops.
+//
+// Threads are created once (per pool) and reused across any number of
+// for_range calls, so callers can hoist thread creation out of hot loops -
+// e.g. one pool per sweep instead of one thread spawn per sweep point. Work
+// is handed out in dynamically scheduled chunks through a shared atomic
+// cursor; the calling thread participates as worker 0, so a pool of size 1
+// runs everything inline with zero synchronisation overhead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avglocal::support {
+
+class ThreadPool {
+ public:
+  /// Worker body for one chunk: fn(worker, begin, end) with 0 <= worker <
+  /// size() identifying the executing worker (stable across chunks of one
+  /// for_range call - usable to index per-worker scratch state).
+  using RangeFn = std::function<void(std::size_t worker, std::size_t begin, std::size_t end)>;
+
+  /// threads == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of workers, including the calling thread.
+  std::size_t size() const noexcept { return worker_count_; }
+
+  /// Runs fn over [0, count) in chunks of `grain`, blocking until done.
+  /// Chunk order across workers is unspecified; callers needing determinism
+  /// must write to disjoint, index-addressed outputs. The first exception
+  /// thrown by fn is rethrown here (remaining chunks may be skipped).
+  /// One job at a time: calling for_range while another is running - from a
+  /// second thread or from inside fn - throws std::logic_error.
+  void for_range(std::size_t count, std::size_t grain, const RangeFn& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_chunks(std::size_t worker);
+
+  std::size_t worker_count_;
+  std::vector<std::thread> threads_;  // worker_count_ - 1 helpers
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   // helpers wait for a new job
+  std::condition_variable done_cv_;   // for_range waits for helpers
+  std::uint64_t generation_ = 0;      // bumped per job
+  std::size_t helpers_done_ = 0;
+  bool stopping_ = false;
+  std::atomic<bool> job_active_{false};
+
+  // Current job (valid while helpers run generation_).
+  const RangeFn* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace avglocal::support

@@ -1,0 +1,128 @@
+// Verifies the flat-memory claims of the message engine with a real
+// allocation counter: after a short warm-up in which the arena and inbox
+// grow to their high-water marks, the engine's round loop must perform
+// zero heap allocations. Also unit-tests the MessageArena itself.
+//
+// This binary installs the allocation-counting global operator new/delete;
+// it must stay its own test executable.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/engine.hpp"
+#include "local/flood_probe.hpp"
+#include "local/message_arena.hpp"
+#include "support/alloc_hook.hpp"
+
+AVGLOCAL_DEFINE_ALLOC_HOOK();
+
+namespace {
+
+using namespace avglocal;
+using local::AllocSampler;
+using local::FloodRelay;
+
+TEST(AllocHook, CountsAllocations) {
+  const auto before = support::alloc_counts();
+  {
+    std::vector<std::uint64_t> v(1024);
+    ASSERT_EQ(v.size(), 1024u);
+  }
+  const auto after = support::alloc_counts();
+  EXPECT_GT(after.allocations, before.allocations);
+  EXPECT_GE(after.bytes - before.bytes, 1024u * sizeof(std::uint64_t));
+}
+
+TEST(MessageEngineAlloc, SteadyStateRoundsAreAllocationFree) {
+  constexpr std::size_t kRounds = 40;
+  constexpr std::size_t kWarmupRounds = 3;
+  const auto g = graph::make_cycle(64);
+  const auto ids = graph::IdAssignment::identity(64);
+
+  AllocSampler sampler(kRounds);
+  local::EngineOptions options;
+  options.trace = &sampler;
+  const auto run = local::run_messages(
+      g, ids, [] { return std::make_unique<FloodRelay>(std::size_t{kRounds}); }, options);
+  EXPECT_EQ(run.rounds, kRounds);
+
+  const auto& samples = sampler.samples();
+  ASSERT_GT(samples.size(), kWarmupRounds + 1);
+  for (std::size_t i = kWarmupRounds; i + 1 < samples.size(); ++i) {
+    EXPECT_EQ(samples[i + 1].allocations - samples[i].allocations, 0u)
+        << "round " << i + 1 << " allocated";
+    EXPECT_EQ(samples[i + 1].bytes - samples[i].bytes, 0u) << "round " << i + 1;
+  }
+}
+
+// Same claim on a topology with degree spread (star: hub degree n-1), so
+// the inbox high-water mark is exercised by the hub every round.
+TEST(MessageEngineAlloc, SteadyStateOnStar) {
+  constexpr std::size_t kRounds = 30;
+  const auto g = graph::make_star(33);
+  const auto ids = graph::IdAssignment::identity(33);
+
+  AllocSampler sampler(kRounds);
+  local::EngineOptions options;
+  options.trace = &sampler;
+  local::run_messages(g, ids, [] { return std::make_unique<FloodRelay>(std::size_t{kRounds}); }, options);
+
+  const auto& samples = sampler.samples();
+  ASSERT_GT(samples.size(), 4u);
+  for (std::size_t i = 3; i + 1 < samples.size(); ++i) {
+    EXPECT_EQ(samples[i + 1].allocations - samples[i].allocations, 0u)
+        << "round " << i + 1 << " allocated";
+  }
+}
+
+TEST(MessageArena, PushHasPayloadRoundTrip) {
+  local::MessageArena arena;
+  arena.attach(10);
+  const std::array<std::uint64_t, 3> words{7, 8, 9};
+  EXPECT_FALSE(arena.has(4));
+  EXPECT_TRUE(arena.push(4, words));
+  EXPECT_TRUE(arena.has(4));
+  const auto payload = arena.payload(4);
+  ASSERT_EQ(payload.size(), 3u);
+  EXPECT_EQ(payload[0], 7u);
+  EXPECT_EQ(payload[2], 9u);
+  EXPECT_EQ(arena.message_count(), 1u);
+  EXPECT_EQ(arena.word_count(), 3u);
+}
+
+TEST(MessageArena, SecondPushOnSameArcIsRejected) {
+  local::MessageArena arena;
+  arena.attach(4);
+  const std::array<std::uint64_t, 1> words{1};
+  EXPECT_TRUE(arena.push(2, words));
+  EXPECT_FALSE(arena.push(2, words)) << "one message per arc per round";
+  EXPECT_EQ(arena.message_count(), 1u);
+}
+
+TEST(MessageArena, BeginRoundForgetsMessagesAndKeepsGoing) {
+  local::MessageArena arena;
+  arena.attach(128);
+  const std::array<std::uint64_t, 2> words{5, 6};
+  for (std::size_t arc = 0; arc < 128; ++arc) EXPECT_TRUE(arena.push(arc, words));
+  arena.begin_round();
+  EXPECT_EQ(arena.message_count(), 0u);
+  EXPECT_EQ(arena.word_count(), 0u);
+  for (std::size_t arc = 0; arc < 128; ++arc) {
+    EXPECT_FALSE(arena.has(arc));
+    EXPECT_TRUE(arena.push(arc, words));
+  }
+}
+
+TEST(MessageArena, EmptyPayloadIsAMessage) {
+  local::MessageArena arena;
+  arena.attach(2);
+  EXPECT_TRUE(arena.push(1, {}));
+  EXPECT_TRUE(arena.has(1));
+  EXPECT_EQ(arena.payload(1).size(), 0u);
+  EXPECT_EQ(arena.message_count(), 1u);
+}
+
+}  // namespace

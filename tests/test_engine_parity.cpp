@@ -1,0 +1,121 @@
+// Property suite pinning the three execution paths of the LOCAL simulator
+// to each other: the serial view sweep, the pooled (parallel) view sweep at
+// several thread counts, and the message engine driven through the
+// full-information adapter. On every random topology, seed and thread
+// count they must produce identical outputs and radii - this is what makes
+// the flat-memory/parallel core a pure optimisation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/largest_id.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/full_info.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+void expect_same_run(const local::RunResult& a, const local::RunResult& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.outputs.size(), b.outputs.size()) << what;
+  EXPECT_EQ(a.outputs, b.outputs) << what;
+  EXPECT_EQ(a.radii, b.radii) << what;
+}
+
+graph::Graph make_topology(int kind, std::size_t n, support::Xoshiro256& rng) {
+  switch (kind) {
+    case 0: return graph::make_random_tree(n, rng);
+    case 1: return graph::make_cycle(n);
+    default: return graph::make_gnp_connected(n, 0.15, rng);
+  }
+}
+
+const char* kTopologyNames[] = {"random_tree", "cycle", "gnp"};
+
+TEST(EngineParity, SerialPooledAndMessagesAgreeEverywhere) {
+  const std::size_t kThreadCounts[] = {1, 2, 4};
+  for (int kind = 0; kind < 3; ++kind) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      support::Xoshiro256 rng(support::derive_seed(seed, static_cast<std::uint64_t>(kind)));
+      const std::size_t n = 24 + rng.below(16);
+      const graph::Graph g = make_topology(kind, n, rng);
+      const graph::IdAssignment ids =
+          graph::IdAssignment::random(g.vertex_count(), rng);
+      const std::string label =
+          std::string(kTopologyNames[kind]) + " seed=" + std::to_string(seed);
+
+      // Ground truth: serial sweep under flooding semantics (what the
+      // message engine's gossip delivers round by round).
+      local::ViewEngineOptions flooding;
+      flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+      const auto serial = local::run_views(g, ids, algo::make_largest_id_view(), flooding);
+
+      for (const std::size_t threads : kThreadCounts) {
+        support::ThreadPool pool(threads);
+        local::ViewEngineOptions pooled = flooding;
+        pooled.pool = &pool;
+        const auto parallel = local::run_views(g, ids, algo::make_largest_id_view(), pooled);
+        expect_same_run(serial, parallel,
+                        label + " pooled threads=" + std::to_string(threads));
+      }
+
+      const auto messages =
+          local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+      expect_same_run(serial, messages, label + " messages");
+    }
+  }
+}
+
+TEST(EngineParity, InducedSemanticsSerialVsPooled) {
+  support::Xoshiro256 rng(77);
+  for (int kind = 0; kind < 3; ++kind) {
+    const std::size_t n = 30 + rng.below(20);
+    const graph::Graph g = make_topology(kind, n, rng);
+    const graph::IdAssignment ids = graph::IdAssignment::random(g.vertex_count(), rng);
+    const auto serial = local::run_views(g, ids, algo::make_largest_id_view());
+    support::ThreadPool pool(3);
+    local::ViewEngineOptions options;
+    options.pool = &pool;
+    const auto pooled = local::run_views(g, ids, algo::make_largest_id_view(), options);
+    expect_same_run(serial, pooled, std::string("induced ") + kTopologyNames[kind]);
+  }
+}
+
+// A shared pool must be reusable across many run_views calls (that is the
+// whole point of hoisting it): results stay identical call after call.
+TEST(EngineParity, PoolIsReusableAcrossRuns) {
+  support::Xoshiro256 rng(5);
+  const auto g = graph::make_cycle(48);
+  support::ThreadPool pool(4);
+  local::ViewEngineOptions pooled;
+  pooled.pool = &pool;
+  for (int run = 0; run < 5; ++run) {
+    const graph::IdAssignment ids = graph::IdAssignment::random(48, rng);
+    const auto serial = local::run_views(g, ids, algo::make_largest_id_view());
+    const auto parallel = local::run_views(g, ids, algo::make_largest_id_view(), pooled);
+    expect_same_run(serial, parallel, "run " + std::to_string(run));
+  }
+}
+
+// The universe-aware refinement exercises a second stopping rule (earlier
+// outputs, different ball shapes) through the same machinery.
+TEST(EngineParity, UniverseAwareRuleSerialVsPooled) {
+  support::Xoshiro256 rng(11);
+  const auto g = graph::make_cycle(64);
+  const graph::IdAssignment ids = graph::IdAssignment::random(64, rng);
+  const auto serial = local::run_views(g, ids, algo::make_largest_id_universe_aware_view());
+  support::ThreadPool pool(2);
+  local::ViewEngineOptions options;
+  options.pool = &pool;
+  const auto pooled =
+      local::run_views(g, ids, algo::make_largest_id_universe_aware_view(), options);
+  expect_same_run(serial, pooled, "universe-aware");
+}
+
+}  // namespace

@@ -240,4 +240,33 @@ TEST(Properties, Classification) {
   EXPECT_FALSE(is_tree(make_cycle(6)));
 }
 
+TEST(Graph, MirrorPortMatchesPortToEverywhere) {
+  Xoshiro256 rng(31);
+  const Graph graphs[] = {make_cycle(9), make_star(8), make_grid(3, 4),
+                          make_random_tree(20, rng), make_gnp_connected(18, 0.3, rng)};
+  for (const Graph& g : graphs) {
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      for (std::size_t p = 0; p < g.degree(v); ++p) {
+        const Vertex u = g.neighbour(v, p);
+        const std::size_t q = g.mirror_port(v, p);
+        EXPECT_EQ(q, g.port_to(u, v)) << "v=" << v << " p=" << p;
+        EXPECT_EQ(g.neighbour(u, q), v) << "mirror must lead back";
+        EXPECT_EQ(g.mirror_port(u, q), p) << "mirror is an involution";
+      }
+    }
+  }
+}
+
+TEST(Graph, ArcIndexEnumeratesCsrSlots) {
+  const Graph g = make_cycle(5);
+  EXPECT_EQ(g.arc_count(), 10u);
+  std::set<std::size_t> seen;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    for (std::size_t p = 0; p < g.degree(v); ++p) seen.insert(g.arc_index(v, p));
+  }
+  EXPECT_EQ(seen.size(), g.arc_count());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), g.arc_count() - 1);
+}
+
 }  // namespace

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/csv.hpp"
+#include "support/json_writer.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -206,6 +207,33 @@ TEST(Csv, WritesRows) {
   writer.write_row({"n", "avg"});
   writer.write_row({"8", "1,5"});
   EXPECT_EQ(out.str(), "n,avg\n8,\"1,5\"\n");
+}
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("core");
+  json.key("ok").value(true);
+  json.key("count").value(std::uint64_t{3});
+  json.key("ratio").value(2.5);
+  json.key("items").begin_array().value(std::int64_t{-1}).value("x").end_array();
+  json.key("nested").begin_object().key("empty").begin_array().end_array().end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"core\",\"ok\":true,\"count\":3,\"ratio\":2.5,"
+            "\"items\":[-1,\"x\"],\"nested\":{\"empty\":[]}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_array().value("a\"b\\c\n").end_array();
+  EXPECT_EQ(json.str(), "[\"a\\\"b\\\\c\\n\"]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter json;
+  json.begin_array().value(0.1).value(1e300).end_array();
+  EXPECT_EQ(json.str(), "[0.1,1e+300]");
 }
 
 }  // namespace

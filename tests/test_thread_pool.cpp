@@ -1,0 +1,99 @@
+// Tests of the persistent worker pool: coverage (every index exactly
+// once), worker identification, reuse across jobs, the inline size-1 path,
+// and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using avglocal::support::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    const std::size_t count = 1000;
+    std::vector<std::atomic<int>> hits(count);
+    pool.for_range(count, 3, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+      EXPECT_LT(worker, pool.size());
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end, count);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.for_range(100, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) total.fetch_add(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 20u * (99u * 100u / 2));
+}
+
+TEST(ThreadPool, GrainLargerThanCountIsOneChunk) {
+  ThreadPool pool(3);
+  std::atomic<int> chunks{0};
+  pool.for_range(5, 100, [&](std::size_t, std::size_t begin, std::size_t end) {
+    chunks.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_range(0, 1, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
+  for (const std::size_t threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.for_range(64, 1,
+                       [&](std::size_t, std::size_t begin, std::size_t) {
+                         if (begin == 13) throw std::runtime_error("boom");
+                       }),
+        std::runtime_error);
+    // The pool must survive a throwing job and accept the next one.
+    std::atomic<int> done{0};
+    pool.for_range(8, 1, [&](std::size_t, std::size_t, std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 8);
+  }
+}
+
+TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, NestedForRangeThrowsInsteadOfCorrupting) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.for_range(4, 1,
+                     [&](std::size_t, std::size_t, std::size_t) {
+                       pool.for_range(2, 1, [](std::size_t, std::size_t, std::size_t) {});
+                     }),
+      std::logic_error);
+  // And the pool still works afterwards.
+  std::atomic<int> done{0};
+  pool.for_range(6, 1, [&](std::size_t, std::size_t, std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 6);
+}
+
+}  // namespace

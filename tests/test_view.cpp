@@ -252,4 +252,57 @@ TEST(ViewEngine, SingleVertexRunner) {
   EXPECT_EQ(output, 3);
 }
 
+TEST(PortTable, RowsSpansAndReuse) {
+  local::PortTable table;
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row(2);
+  table.add_row(0);
+  table.add_row(3);
+  ASSERT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.row_size(0), 2u);
+  EXPECT_EQ(table.row_size(1), 0u);
+  EXPECT_EQ(table[2].size(), 3u);
+  for (const auto target : table[0]) EXPECT_EQ(target, local::kUnknownTarget);
+  table[0][1] = 7;
+  EXPECT_EQ(table[0][1], 7u);
+  table.clear();
+  EXPECT_EQ(table.rows(), 0u);
+  table.assign_rows(4, 2);
+  ASSERT_EQ(table.rows(), 4u);
+  for (std::size_t row = 0; row < 4; ++row) {
+    ASSERT_EQ(table.row_size(row), 2u);
+    EXPECT_EQ(table[row][0], local::kUnknownTarget);
+  }
+}
+
+TEST(BallGrower, ResetReRootsAndMatchesFreshGrower) {
+  const auto g = graph::make_grid(4, 5);
+  const auto ids = graph::IdAssignment::reversed(20);
+  BallGrower::Scratch scratch(20);
+  BallGrower reused(g, ids, 0, ViewSemantics::kInducedBall, scratch);
+  for (avglocal::graph::Vertex root = 0; root < 20; ++root) {
+    reused.reset(root);
+    reused.grow();
+    reused.grow();
+
+    BallGrower::Scratch fresh_scratch(20);
+    BallGrower fresh(g, ids, root, ViewSemantics::kInducedBall, fresh_scratch);
+    fresh.grow();
+    fresh.grow();
+
+    const auto& a = reused.view();
+    const auto& b = fresh.view();
+    ASSERT_EQ(a.size(), b.size()) << "root " << root;
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.dist, b.dist);
+    EXPECT_EQ(a.covers_graph, b.covers_graph);
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      ASSERT_EQ(a.degree_of(v), b.degree_of(v));
+      for (std::size_t port = 0; port < a.degree_of(v); ++port) {
+        EXPECT_EQ(a.ports[v][port], b.ports[v][port]) << "root " << root;
+      }
+    }
+  }
+}
+
 }  // namespace
