@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,7 @@ struct SweepThroughput {
   double legacy_trials_per_sec = 0;
   double serial_trials_per_sec = 0;
   double pooled_trials_per_sec = 0;
+  double batched_trials_per_sec = 0;
   std::size_t pool_workers = 1;
 };
 
@@ -222,8 +224,21 @@ SweepThroughput bench_view_sweep(std::size_t n, std::size_t trials, std::uint64_
     }
     out.pooled_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
   }
+  {
+    // The batched engine over the same assignments, serial like the
+    // per-trial baseline it is compared against: the speedup is pure
+    // geometry-replay amortisation, not parallelism.
+    local::ViewEngineOptions options;
+    std::uint64_t radius_sum = 0;
+    const auto start = Clock::now();
+    local::run_views_batched(g, assignments, factory, options,
+                             [&](std::size_t, std::size_t, graph::Vertex, std::int64_t,
+                                 std::size_t radius) { radius_sum += radius; });
+    out.batched_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+    if (radius_sum == 0) std::abort();
+  }
 
-  // The three paths must agree bit-for-bit - a perf gate that drifts from
+  // All four paths must agree bit-for-bit - a perf gate that drifts from
   // the semantics would defend the wrong thing.
   {
     const auto& ids = assignments[0];
@@ -233,7 +248,16 @@ SweepThroughput bench_view_sweep(std::size_t n, std::size_t trials, std::uint64_
     local::ViewEngineOptions options;
     options.pool = &pool;
     const auto c = local::run_views(g, ids, factory, options);
-    if (!same_run(a, b) || !same_run(b, c)) {
+    local::RunResult d;
+    d.outputs.resize(n);
+    d.radii.resize(n);
+    local::run_views_batched(g, std::span(&ids, 1), factory, local::ViewEngineOptions{},
+                             [&](std::size_t, std::size_t, graph::Vertex v, std::int64_t output,
+                                 std::size_t radius) {
+                               d.outputs[v] = output;
+                               d.radii[v] = radius;
+                             });
+    if (!same_run(a, b) || !same_run(b, c) || !same_run(b, d)) {
       std::cerr << "bench_regression: view paths disagree\n";
       std::exit(2);
     }
@@ -285,7 +309,11 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_core.json";
   std::size_t n = 10'000;
-  std::size_t trials = 50;
+  // Enough trials per point for the batched engine's regime: the shared
+  // ball geometry is grown to the deepest radius any trial needs, and that
+  // depth grows only logarithmically with the trial count, so batching
+  // amortises better the more assignments ride one graph.
+  std::size_t trials = 400;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -312,6 +340,7 @@ int main(int argc, char** argv) {
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
+  const double batched_ratio = sweep.batched_trials_per_sec / sweep.serial_trials_per_sec;
 
   support::JsonWriter json;
   json.begin_object();
@@ -325,9 +354,11 @@ int main(int argc, char** argv) {
   json.key("legacy_trials_per_sec").value(sweep.legacy_trials_per_sec);
   json.key("serial_trials_per_sec").value(sweep.serial_trials_per_sec);
   json.key("pooled_trials_per_sec").value(sweep.pooled_trials_per_sec);
+  json.key("batched_trials_per_sec").value(sweep.batched_trials_per_sec);
   json.key("pool_workers").value(static_cast<std::uint64_t>(sweep.pool_workers));
   json.key("serial_speedup_vs_legacy").value(serial_ratio);
   json.key("pooled_speedup_vs_legacy").value(pooled_ratio);
+  json.key("batched_sweep_speedup_vs_per_trial").value(batched_ratio);
   json.end_object();
   json.key("message_engine").begin_object();
   json.key("topology").value("ring");
@@ -348,6 +379,12 @@ int main(int argc, char** argv) {
   if (engine.allocs_per_round_after_warmup != 0) {
     std::cerr << "bench_regression: message engine allocated after warm-up\n";
     return 3;
+  }
+  // Smoke runs are too short (and CI machines too noisy) to hard-gate a
+  // ratio; the full run defends the batched engine's reason to exist.
+  if (!smoke && batched_ratio < 1.5) {
+    std::cerr << "bench_regression: batched sweep speedup " << batched_ratio << " < 1.5\n";
+    return 4;
   }
   return 0;
 }

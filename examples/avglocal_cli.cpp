@@ -1,10 +1,21 @@
 // avglocal_cli: run any bundled LOCAL algorithm on any graph family from
-// the command line and report both measures (optionally per-vertex CSV).
+// the command line and report both measures (optionally per-vertex CSV),
+// or drive batched / sharded random sweeps.
 //
+// Single runs (the default subcommand):
 //   avglocal_cli --algo largest-id --graph cycle --n 1024 --seed 7
 //   avglocal_cli --algo cv3 --graph cycle --n 4096 --csv radii.csv
-//   avglocal_cli --algo local3 --graph cycle --n 512
 //   avglocal_cli --algo mis --graph cycle --n 256 --semantics flooding
+//
+// Batched sweeps (many id-assignments per graph in one pass):
+//   avglocal_cli sweep --algo largest-id --graph cycle --ns 256,1024,4096
+//                      --trials 200 --seed 42 --json sweep.json
+//
+// Sharded sweeps (run shard i of k anywhere, then merge the artefacts;
+// the merge is bit-identical to the monolithic sweep):
+//   avglocal_cli sweep --ns 1024,4096 --trials 1000 --shard 0/4 --out s0.json
+//   ... shards 1/4, 2/4, 3/4 on other hosts ...
+//   avglocal_cli merge --json sweep.json s0.json s1.json s2.json s3.json
 //
 // Algorithms: largest-id | largest-id-ua | cv3 | mis | local3 (message based)
 // Graphs:     cycle | path | tree | grid | torus | gnp | complete
@@ -13,19 +24,25 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "algo/cole_vishkin.hpp"
 #include "algo/largest_id.hpp"
 #include "algo/local_colouring.hpp"
 #include "algo/mis_ring.hpp"
 #include "algo/validity.hpp"
+#include "core/batched_sweep.hpp"
 #include "core/measure.hpp"
+#include "core/runner.hpp"
+#include "core/shard.hpp"
 #include "graph/generators.hpp"
 #include "graph/ids.hpp"
 #include "local/engine.hpp"
 #include "local/view_engine.hpp"
 #include "support/csv.hpp"
+#include "support/json_writer.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -44,6 +61,8 @@ struct Options {
 void usage() {
   std::cout << "usage: avglocal_cli [--algo A] [--graph G] [--n N] [--seed S]\n"
                "                    [--semantics induced|flooding] [--csv FILE]\n"
+               "       avglocal_cli sweep ...   (batched/sharded random sweeps; --help)\n"
+               "       avglocal_cli merge ...   (recombine shard artefacts; --help)\n"
                "  algos : largest-id largest-id-ua cv3 mis local3\n"
                "  graphs: cycle path tree grid torus gnp complete\n";
 }
@@ -78,29 +97,344 @@ std::optional<Options> parse(int argc, char** argv) {
   return options;
 }
 
-graph::Graph make_graph(const Options& options, support::Xoshiro256& rng) {
-  const std::size_t n = options.n;
-  if (options.graph == "cycle") return graph::make_cycle(n);
-  if (options.graph == "path") return graph::make_path(n);
-  if (options.graph == "tree") return graph::make_random_tree(n, rng);
-  if (options.graph == "grid") {
+graph::Graph make_graph_named(const std::string& family, std::size_t n,
+                              support::Xoshiro256& rng) {
+  if (family == "cycle") return graph::make_cycle(n);
+  if (family == "path") return graph::make_path(n);
+  if (family == "tree") return graph::make_random_tree(n, rng);
+  if (family == "grid") {
     const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
     return graph::make_grid(side, side);
   }
-  if (options.graph == "torus") {
+  if (family == "torus") {
     const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
     return graph::make_torus(side, side);
   }
-  if (options.graph == "gnp") {
+  if (family == "gnp") {
     return graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
   }
-  if (options.graph == "complete") return graph::make_complete(n);
-  throw std::invalid_argument("unknown graph family: " + options.graph);
+  if (family == "complete") return graph::make_complete(n);
+  throw std::invalid_argument("unknown graph family: " + family);
+}
+
+graph::Graph make_graph(const Options& options, support::Xoshiro256& rng) {
+  return make_graph_named(options.graph, options.n, rng);
+}
+
+// ------------------------------------------------------------------ sweep --
+
+struct SweepCliOptions {
+  std::string algo = "largest-id";
+  std::string graph = "cycle";
+  std::vector<std::size_t> ns = {256, 1024};
+  std::size_t trials = 100;
+  std::uint64_t seed = 42;
+  std::string semantics = "induced";
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  bool node_profile = false;
+  std::optional<std::pair<std::size_t, std::size_t>> shard;  ///< (index, count)
+  std::string out_path;   ///< shard artefact destination (sweep --shard)
+  std::string json_path;  ///< full-report destination (sweep / merge)
+};
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) values.push_back(std::stoull(item));
+  if (values.empty()) throw std::invalid_argument("empty size list");
+  return values;
+}
+
+void sweep_usage() {
+  std::cout
+      << "usage: avglocal_cli sweep [--algo A] [--graph G] [--ns N1,N2,...] [--trials T]\n"
+         "                          [--seed S] [--semantics induced|flooding] [--threads W]\n"
+         "                          [--batch B] [--node-profile] [--json FILE]\n"
+         "                          [--shard I/K --out FILE]\n"
+         "       avglocal_cli merge [--json FILE] SHARD.json...\n"
+         "  algos : largest-id largest-id-ua cv3 mis   (view based)\n"
+         "  graphs: cycle path tree grid torus gnp complete\n"
+         "  --shard I/K runs trial range I of K and writes a mergeable artefact;\n"
+         "  merge recombines artefacts bit-identically to the monolithic sweep.\n";
+}
+
+std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first) {
+  SweepCliOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    std::optional<std::string> value;
+    if (arg == "--help" || arg == "-h") return std::nullopt;
+    if (arg == "--algo" && (value = next())) {
+      options.algo = *value;
+    } else if (arg == "--graph" && (value = next())) {
+      options.graph = *value;
+    } else if (arg == "--ns" && (value = next())) {
+      options.ns = parse_size_list(*value);
+    } else if (arg == "--trials" && (value = next())) {
+      options.trials = std::stoull(*value);
+    } else if (arg == "--seed" && (value = next())) {
+      options.seed = std::stoull(*value);
+    } else if (arg == "--semantics" && (value = next())) {
+      options.semantics = *value;
+    } else if (arg == "--threads" && (value = next())) {
+      options.threads = std::stoull(*value);
+    } else if (arg == "--batch" && (value = next())) {
+      options.batch = std::stoull(*value);
+    } else if (arg == "--node-profile") {
+      options.node_profile = true;
+    } else if (arg == "--shard" && (value = next())) {
+      const auto slash = value->find('/');
+      if (slash == std::string::npos) {
+        std::cerr << "--shard expects I/K\n";
+        return std::nullopt;
+      }
+      options.shard = {{std::stoull(value->substr(0, slash)),
+                        std::stoull(value->substr(slash + 1))}};
+    } else if (arg == "--out" && (value = next())) {
+      options.out_path = *value;
+    } else if (arg == "--json" && (value = next())) {
+      options.json_path = *value;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+/// Per-size algorithm provider: cv3 and mis parameterise their schedule on
+/// n, so every sweep point gets its own factory.
+core::AlgorithmProvider sweep_algorithms(const SweepCliOptions& options) {
+  const std::string algo_name = options.algo;
+  return [algo_name](std::size_t n) -> local::ViewAlgorithmFactory {
+    if (algo_name == "largest-id") return algo::make_largest_id_view();
+    if (algo_name == "largest-id-ua") return algo::make_largest_id_universe_aware_view();
+    if (algo_name == "cv3") return algo::make_cole_vishkin_view(n);
+    if (algo_name == "mis") return algo::make_mis_ring_view(n);
+    throw std::invalid_argument("sweep supports view algorithms only, not: " + algo_name);
+  };
+}
+
+core::BatchedSweepOptions sweep_options(const SweepCliOptions& options) {
+  core::BatchedSweepOptions sweep;
+  sweep.trials = options.trials;
+  sweep.seed = options.seed;
+  sweep.semantics = options.semantics == "flooding" ? local::ViewSemantics::kFloodingKnowledge
+                                                    : local::ViewSemantics::kInducedBall;
+  sweep.threads = options.threads;
+  sweep.batch_size = options.batch;
+  sweep.node_profile = options.node_profile;
+  return sweep;
+}
+
+/// Graph factory shared by monolithic runs and every shard: randomised
+/// families derive their stream from (seed, n) only, so all shards of a
+/// plan build identical graphs.
+core::GraphFactory sweep_graphs(const SweepCliOptions& options) {
+  const std::string family = options.graph;
+  const std::uint64_t seed = options.seed;
+  return [family, seed](std::size_t n) {
+    support::Xoshiro256 rng(support::derive_seed(seed ^ 0x67726170685fULL, n));
+    return make_graph_named(family, n, rng);
+  };
+}
+
+void print_points(const std::vector<core::BatchedSweepPoint>& points) {
+  std::cout << "      n   trials   avg_mean     avg_sd   max_mean  max_worst   "
+               "p50  p90  p99   node_mean_max\n";
+  for (const auto& p : points) {
+    std::printf("%7zu  %7zu  %9.4f  %9.4f  %9.2f  %9zu  %4zu %4zu %4zu   %13.4f\n", p.n,
+                p.trials, p.avg_mean, p.avg_sd, p.max_mean, p.max_worst,
+                p.radius.quantiles.size() > 0 ? p.radius.quantiles[0] : 0,
+                p.radius.quantiles.size() > 1 ? p.radius.quantiles[1] : 0,
+                p.radius.quantiles.size() > 2 ? p.radius.quantiles[2] : 0, p.node_mean_max);
+  }
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  file << text << "\n";
+  return true;
+}
+
+std::string points_to_json(const SweepCliOptions& options,
+                           const std::vector<core::BatchedSweepPoint>& points) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("avglocal_sweep").value(std::uint64_t{1});
+  json.key("algo").value(options.algo);
+  json.key("graph").value(options.graph);
+  json.key("seed").value(options.seed);
+  json.key("trials").value(static_cast<std::uint64_t>(options.trials));
+  json.key("semantics").value(options.semantics);
+  json.key("points").begin_array();
+  for (const auto& p : points) {
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(p.n));
+    json.key("avg_mean").value(p.avg_mean);
+    json.key("avg_sd").value(p.avg_sd);
+    json.key("avg_worst").value(p.avg_worst);
+    json.key("max_mean").value(p.max_mean);
+    json.key("max_worst").value(static_cast<std::uint64_t>(p.max_worst));
+    json.key("radius_mean").value(p.radius.mean);
+    json.key("radius_max").value(static_cast<std::uint64_t>(p.radius.max));
+    json.key("quantile_probs").begin_array();
+    for (double q : p.radius.probs) json.value(q);
+    json.end_array();
+    json.key("quantiles").begin_array();
+    for (std::size_t r : p.radius.quantiles) json.value(static_cast<std::uint64_t>(r));
+    json.end_array();
+    json.key("node_mean_min").value(p.node_mean_min);
+    json.key("node_mean_max").value(p.node_mean_max);
+    if (!p.node_mean.empty()) {
+      json.key("node_mean").begin_array();
+      for (double m : p.node_mean) json.value(m);
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+int run_sweep_command_impl(int argc, char** argv) {
+  const auto parsed = parse_sweep(argc, argv, 2);
+  if (!parsed) {
+    sweep_usage();
+    return 2;
+  }
+  const SweepCliOptions& options = *parsed;
+  const core::AlgorithmProvider algorithms = sweep_algorithms(options);
+  algorithms(options.ns.front());  // reject unknown algorithms before any work
+  const auto graphs = sweep_graphs(options);
+  const core::BatchedSweepOptions sweep = sweep_options(options);
+
+  if (options.shard) {
+    const auto [index, count] = *options.shard;
+    if (options.out_path.empty()) {
+      std::cerr << "--shard needs --out FILE for the artefact\n";
+      return 2;
+    }
+    const auto plan = core::plan_shards(options.ns.size(), options.trials, count);
+    if (index >= plan.size()) {
+      std::cerr << "shard " << index << " is empty: only " << plan.size()
+                << " non-empty shards in this plan\n";
+      return 2;
+    }
+    core::ShardDocument doc;
+    doc.meta = core::SweepPlanMeta::from_options(options.ns, sweep);
+    doc.meta.algorithm = options.algo;
+    doc.meta.graph = options.graph;
+    doc.shard = plan[index];
+    doc.points = core::run_sweep_shard(options.ns, graphs, algorithms, sweep, doc.shard);
+    if (!write_text_file(options.out_path, core::shard_to_json(doc))) return 1;
+    std::cout << "shard " << index << "/" << count << " (trials [" << doc.shard.trial_begin
+              << ", " << doc.shard.trial_end << ")) written to " << options.out_path << "\n";
+    return 0;
+  }
+
+  const auto points = core::run_batched_sweep(options.ns, graphs, algorithms, sweep);
+  print_points(points);
+  if (!options.json_path.empty()) {
+    if (!write_text_file(options.json_path, points_to_json(options, points))) return 1;
+    std::cout << "sweep report written to " << options.json_path << "\n";
+  }
+  return 0;
+}
+
+int run_merge_command_impl(int argc, char** argv) {
+  std::string json_path;
+  std::vector<std::string> artefacts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      sweep_usage();
+      return 2;
+    }
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      sweep_usage();
+      return 2;
+    } else {
+      artefacts.push_back(arg);
+    }
+  }
+  if (artefacts.empty()) {
+    std::cerr << "merge needs at least one shard artefact\n";
+    sweep_usage();
+    return 2;
+  }
+
+  std::vector<core::ShardDocument> docs;
+  docs.reserve(artefacts.size());
+  for (const std::string& path : artefacts) {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "cannot read " << path << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    docs.push_back(core::parse_shard_json(buffer.str()));
+  }
+  const core::SweepPlanMeta meta = docs.front().meta;
+  const auto points = core::merge_shards(std::move(docs));
+  std::cout << "merged " << artefacts.size() << " shard(s): " << meta.algorithm << " on "
+            << meta.graph << ", seed " << meta.seed << ", " << meta.trials << " trials\n";
+  print_points(points);
+  if (!json_path.empty()) {
+    SweepCliOptions report;
+    report.seed = meta.seed;
+    report.trials = meta.trials;
+    report.semantics =
+        meta.semantics == local::ViewSemantics::kFloodingKnowledge ? "flooding" : "induced";
+    report.algo = meta.algorithm;
+    report.graph = meta.graph;
+    if (!write_text_file(json_path, points_to_json(report, points))) return 1;
+    std::cout << "merged report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+/// Sweep plans assemble many moving parts (size lists, graph families,
+/// shard artefacts), so configuration errors surface as exceptions from
+/// deep inside the library; report them as errors, not aborts.
+int run_guarded(int (*command)(int, char**), int argc, char** argv) {
+  try {
+    return command(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+int run_sweep_command(int argc, char** argv) {
+  return run_guarded(run_sweep_command_impl, argc, argv);
+}
+
+int run_merge_command(int argc, char** argv) {
+  return run_guarded(run_merge_command_impl, argc, argv);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) return run_sweep_command(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return run_merge_command(argc, argv);
+
   const auto parsed = parse(argc, argv);
   if (!parsed) {
     usage();

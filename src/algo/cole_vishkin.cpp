@@ -111,6 +111,11 @@ class ColeVishkinView final : public local::ViewAlgorithm {
     return static_cast<std::int64_t>(colours.at(3));  // own position
   }
 
+  bool reset() noexcept override { return true; }  // no per-vertex state
+
+  /// Waits for the fixed schedule radius unless the ball closes first.
+  std::size_t min_radius() const noexcept override { return target_radius_; }
+
  private:
   int t6_;
   std::size_t target_radius_;

@@ -103,6 +103,12 @@ class GreedyColouringView final : public local::ViewAlgorithm {
     }
     return colour[0];  // the root's colour, if determined
   }
+
+  bool reset() noexcept override { return true; }  // no per-vertex state
+
+  /// At radius 0 a non-covering root has unresolved ports, so its greedy
+  /// colour cannot be determined yet.
+  std::size_t min_radius() const noexcept override { return 1; }
 };
 
 }  // namespace

@@ -27,6 +27,17 @@ class LargestIdView final : public local::ViewAlgorithm {
     return std::nullopt;
   }
 
+  bool reset() noexcept override {
+    scanned_ = 0;
+    return true;
+  }
+
+  /// A 1-vertex non-covering view can never contain a larger identifier.
+  std::size_t min_radius() const noexcept override { return 1; }
+
+  /// Only identifiers and coverage are consulted, never edges.
+  bool ids_only_view() const noexcept override { return true; }
+
  private:
   std::size_t scanned_ = 0;
 };
@@ -44,6 +55,14 @@ class LargestIdUniverseAwareView final : public local::ViewAlgorithm {
     if (view.size() >= view.root_id()) return kNo;
     return std::nullopt;
   }
+
+  bool reset() noexcept override {
+    scanned_ = 0;
+    return true;
+  }
+
+  /// Only identifiers, ball size and coverage are consulted, never edges.
+  bool ids_only_view() const noexcept override { return true; }
 
  private:
   std::size_t scanned_ = 0;

@@ -72,6 +72,11 @@ class MisRingView final : public local::ViewAlgorithm {
                : 0;
   }
 
+  bool reset() noexcept override { return true; }  // no per-vertex state
+
+  /// Waits for the fixed schedule radius unless the ball closes first.
+  std::size_t min_radius() const noexcept override { return target_radius_; }
+
  private:
   int t6_;
   std::size_t target_radius_;

@@ -9,28 +9,37 @@ namespace avglocal::analysis {
 
 namespace {
 
+/// A synthetic BallView plus the id storage its span points into (the
+/// member order keeps the storage alive as long as the view; moving is
+/// fine, the heap buffer stays put).
+struct SynthView {
+  std::vector<std::uint64_t> ids;
+  local::BallView view;
+};
+
 /// Builds the open (non-covering) BallView matching a flat ring window.
 /// Layout mirrors BallGrower on a cycle: root, then layers cw-first.
-local::BallView synth_open_view(const RingViewKey& window) {
+SynthView synth_open_view(const RingViewKey& window) {
   AVGLOCAL_EXPECTS(window.size() % 2 == 1);
   const std::size_t r = window.size() / 2;
-  local::BallView view;
+  SynthView synth;
+  local::BallView& view = synth.view;
   view.radius = static_cast<int>(r);
   view.covers_graph = false;
   const std::size_t size = window.size();
-  view.ids.resize(size);
+  synth.ids.resize(size);
   view.dist.resize(size);
   view.ports.assign_rows(size, 2);
 
   // local index: 0 = root; cw_i -> 2i-1; ccw_i -> 2i.
   const auto cw = [](std::size_t i) { return static_cast<local::LocalVertex>(2 * i - 1); };
   const auto ccw = [](std::size_t i) { return static_cast<local::LocalVertex>(2 * i); };
-  view.ids[0] = window[r];
+  synth.ids[0] = window[r];
   view.dist[0] = 0;
   for (std::size_t i = 1; i <= r; ++i) {
-    view.ids[cw(i)] = window[r + i];
+    synth.ids[cw(i)] = window[r + i];
     view.dist[cw(i)] = static_cast<int>(i);
-    view.ids[ccw(i)] = window[r - i];
+    synth.ids[ccw(i)] = window[r - i];
     view.dist[ccw(i)] = static_cast<int>(i);
   }
   if (r >= 1) {
@@ -43,27 +52,30 @@ local::BallView synth_open_view(const RingViewKey& window) {
       if (i < r) view.ports[ccw(i)][1] = ccw(i + 1);
     }
   }
-  return view;
+  view.ids = synth.ids;
+  return synth;
 }
 
 /// Builds the covering BallView of a whole ring, rooted at position v.
-local::BallView synth_closed_view(const std::vector<std::uint64_t>& ids, std::size_t v,
-                                  std::size_t radius) {
+SynthView synth_closed_view(const std::vector<std::uint64_t>& ids, std::size_t v,
+                            std::size_t radius) {
   const std::size_t n = ids.size();
-  local::BallView view;
+  SynthView synth;
+  local::BallView& view = synth.view;
   view.radius = static_cast<int>(radius);
   view.covers_graph = true;
-  view.ids.resize(n);
+  synth.ids.resize(n);
   view.dist.resize(n);
   view.ports.assign_rows(n, 2);
   // local i corresponds to ring position (v + i) mod n; port 0 = clockwise.
   for (std::size_t i = 0; i < n; ++i) {
-    view.ids[i] = ids[(v + i) % n];
+    synth.ids[i] = ids[(v + i) % n];
     view.dist[i] = static_cast<int>(std::min(i, n - i));
     view.ports[i][0] = static_cast<local::LocalVertex>((i + 1) % n);
     view.ports[i][1] = static_cast<local::LocalVertex>((i + n - 1) % n);
   }
-  return view;
+  view.ids = synth.ids;
+  return synth;
 }
 
 /// Radius at which the induced ball of a cycle covers it: ceil((n-1)/2).
@@ -94,7 +106,7 @@ std::optional<std::int64_t> RingViewFunction::decide(const RingViewKey& view) co
   for (std::size_t rho = 0; rho <= r; ++rho) {
     const RingViewKey sub(view.begin() + static_cast<std::ptrdiff_t>(r - rho),
                           view.begin() + static_cast<std::ptrdiff_t>(r + rho + 1));
-    decision = algorithm->on_view(synth_open_view(sub));
+    decision = algorithm->on_view(synth_open_view(sub).view);
     if (decision.has_value() && rho < r) {
       // The algorithm would have stopped on a strict prefix: the full view
       // is unreachable; record the prefix decision for consistency.
@@ -115,11 +127,11 @@ std::pair<std::int64_t, std::size_t> RingViewFunction::run_vertex(
   // Covering view: query the algorithm directly (fresh replay; cheap).
   const auto algorithm = factory_();
   for (std::size_t rho = 0; rho < cover; ++rho) {
-    if (const auto out = algorithm->on_view(synth_open_view(ring_view_key(ids, v, rho)))) {
+    if (const auto out = algorithm->on_view(synth_open_view(ring_view_key(ids, v, rho)).view)) {
       return {*out, rho};
     }
   }
-  if (const auto out = algorithm->on_view(synth_closed_view(ids, v, cover))) {
+  if (const auto out = algorithm->on_view(synth_closed_view(ids, v, cover).view)) {
     return {*out, cover};
   }
   throw std::runtime_error("view algorithm did not stop on the covering view");

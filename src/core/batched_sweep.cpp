@@ -1,0 +1,177 @@
+#include "core/batched_sweep.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "graph/ids.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace avglocal::core {
+
+void PointAccumulator::append(PointAccumulator&& other) {
+  AVGLOCAL_REQUIRE_MSG(other.point_index == point_index && other.n == n,
+                       "shard partials describe different sweep points");
+  AVGLOCAL_REQUIRE_MSG(other.trial_begin == trial_end(),
+                       "shard trial ranges must be contiguous and in order");
+  AVGLOCAL_REQUIRE(other.node_sum.size() == node_sum.size());
+  trial_sum.insert(trial_sum.end(), other.trial_sum.begin(), other.trial_sum.end());
+  trial_max.insert(trial_max.end(), other.trial_max.begin(), other.trial_max.end());
+  histogram.merge(other.histogram);
+  for (std::size_t v = 0; v < node_sum.size(); ++v) node_sum[v] += other.node_sum[v];
+}
+
+PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index,
+                                  const local::ViewAlgorithmFactory& algorithm,
+                                  const BatchedSweepOptions& options, std::size_t trial_begin,
+                                  std::size_t trial_end, support::ThreadPool* pool) {
+  AVGLOCAL_EXPECTS(trial_begin < trial_end);
+  const std::size_t n = g.vertex_count();
+  AVGLOCAL_EXPECTS(n > 0);
+
+  PointAccumulator acc;
+  acc.point_index = point_index;
+  acc.n = n;
+  acc.trial_begin = trial_begin;
+  const std::size_t total = trial_end - trial_begin;
+  acc.trial_sum.assign(total, 0);
+  acc.trial_max.assign(total, 0);
+  acc.node_sum.assign(n, 0);
+
+  const std::uint64_t point_seed = support::derive_seed(options.seed, point_index);
+  const std::size_t batch_cap =
+      options.batch_size == 0 ? total : std::min(options.batch_size, total);
+
+  // Per-worker partials: trial aggregates are indexed within the batch and
+  // folded into `acc` after it, always by integer addition / maximum, so
+  // the totals do not depend on which worker ran which vertices.
+  struct WorkerPartial {
+    std::vector<std::uint64_t> trial_sum;
+    std::vector<std::uint64_t> trial_max;
+    local::RadiusHistogram histogram;
+  };
+  std::vector<WorkerPartial> partials(pool != nullptr ? pool->size() : 1);
+
+  local::ViewEngineOptions engine;
+  engine.semantics = options.semantics;
+  engine.pool = pool;
+
+  std::vector<graph::IdAssignment> batch;
+  batch.reserve(batch_cap);
+  for (std::size_t batch_begin = 0; batch_begin < total; batch_begin += batch_cap) {
+    const std::size_t batch_size = std::min(batch_cap, total - batch_begin);
+    batch.clear();
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      support::Xoshiro256 rng(
+          support::derive_seed(point_seed, trial_begin + batch_begin + i));
+      batch.push_back(graph::IdAssignment::random(n, rng));
+    }
+    for (WorkerPartial& w : partials) {
+      w.trial_sum.assign(batch_size, 0);
+      w.trial_max.assign(batch_size, 0);
+      w.histogram = local::RadiusHistogram();
+    }
+
+    local::run_views_batched(
+        g, batch, algorithm, engine,
+        [&](std::size_t worker, std::size_t trial, graph::Vertex v, std::int64_t /*output*/,
+            std::size_t radius) {
+          WorkerPartial& w = partials[worker];
+          const auto r = static_cast<std::uint64_t>(radius);
+          w.trial_sum[trial] += r;
+          w.trial_max[trial] = std::max(w.trial_max[trial], r);
+          w.histogram.add(radius);
+          // Workers own disjoint vertex ranges, so this shared row is safe.
+          acc.node_sum[v] += r;
+        });
+
+    for (const WorkerPartial& w : partials) {
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        acc.trial_sum[batch_begin + i] += w.trial_sum[i];
+        acc.trial_max[batch_begin + i] = std::max(acc.trial_max[batch_begin + i], w.trial_max[i]);
+      }
+      acc.histogram.merge(w.histogram);
+    }
+  }
+  return acc;
+}
+
+BatchedSweepPoint finalize_point(const PointAccumulator& acc, const BatchedSweepOptions& options) {
+  AVGLOCAL_EXPECTS(acc.trial_begin == 0 && acc.trial_count() == options.trials);
+  AVGLOCAL_EXPECTS(acc.n > 0 && acc.node_sum.size() == acc.n);
+
+  BatchedSweepPoint point;
+  point.n = acc.n;
+  point.trials = options.trials;
+
+  // Same accumulation order (global trial order) and the same divisions as
+  // run_random_sweep, so these aggregates match it bit for bit.
+  support::RunningStats avg_stats;
+  support::RunningStats max_stats;
+  for (std::size_t t = 0; t < acc.trial_count(); ++t) {
+    avg_stats.add(static_cast<double>(acc.trial_sum[t]) / static_cast<double>(acc.n));
+    max_stats.add(static_cast<double>(acc.trial_max[t]));
+    point.max_worst = std::max(point.max_worst, static_cast<std::size_t>(acc.trial_max[t]));
+  }
+  point.avg_mean = avg_stats.mean();
+  point.avg_sd = avg_stats.stddev();
+  point.avg_worst = avg_stats.max();
+  point.max_mean = max_stats.mean();
+
+  point.radius = summarize_radius_histogram(acc.histogram, options.quantile_probs);
+
+  const auto trials = static_cast<double>(options.trials);
+  const auto [min_it, max_it] = std::minmax_element(acc.node_sum.begin(), acc.node_sum.end());
+  point.node_mean_min = static_cast<double>(*min_it) / trials;
+  point.node_mean_max = static_cast<double>(*max_it) / trials;
+  if (options.node_profile) {
+    point.node_mean.reserve(acc.n);
+    for (std::uint64_t sum : acc.node_sum) {
+      point.node_mean.push_back(static_cast<double>(sum) / trials);
+    }
+  }
+  return point;
+}
+
+std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>& ns,
+                                                 const GraphFactory& graphs,
+                                                 const AlgorithmProvider& algorithms,
+                                                 const BatchedSweepOptions& options) {
+  AVGLOCAL_EXPECTS(options.trials >= 1);
+
+  // One pool for the whole sweep, as in run_random_sweep - but without the
+  // trial clamp: the batched engine parallelises over vertices, so every
+  // worker stays busy regardless of the trial count.
+  std::unique_ptr<support::ThreadPool> owned_pool;
+  support::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    const std::size_t workers = options.threads != 0
+                                    ? options.threads
+                                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    owned_pool = std::make_unique<support::ThreadPool>(workers);
+    pool = owned_pool.get();
+  }
+
+  std::vector<BatchedSweepPoint> points;
+  points.reserve(ns.size());
+  for (std::size_t point_index = 0; point_index < ns.size(); ++point_index) {
+    const graph::Graph g = graphs(ns[point_index]);
+    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == ns[point_index], "graph factory size mismatch");
+    const PointAccumulator acc = accumulate_point(g, point_index, algorithms(ns[point_index]),
+                                                  options, 0, options.trials, pool);
+    points.push_back(finalize_point(acc, options));
+  }
+  return points;
+}
+
+std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>& ns,
+                                                 const GraphFactory& graphs,
+                                                 const local::ViewAlgorithmFactory& algorithm,
+                                                 const BatchedSweepOptions& options) {
+  return run_batched_sweep(
+      ns, graphs, [&algorithm](std::size_t) { return algorithm; }, options);
+}
+
+}  // namespace avglocal::core

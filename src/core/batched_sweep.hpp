@@ -1,0 +1,138 @@
+// Batched random sweeps: many identifier assignments per graph in one pass.
+//
+// run_random_sweep (core/runner.hpp) pays one full view-engine run per
+// trial: every trial regrows every vertex's ball from scratch. The batched
+// engine inverts the loops - vertices outside, assignments inside - so each
+// vertex's ball geometry (BFS order, port structure: identifier-independent)
+// is grown once and replayed per assignment (local::BallReplayer), and all
+// per-trial state (id buffers, growers, scratch, the algorithm instance
+// where ViewAlgorithm::reset allows) is reused across the batch.
+//
+// Everything downstream of the engine is accumulated as exact integers
+// (PointAccumulator), so partial results - per pool worker, or per shard of
+// a distributed sweep (core/shard.hpp) - merge bit-identically into the
+// monolithic sweep, independent of batching, sharding and thread schedule.
+// Floating point appears only in finalize_point, which always iterates
+// trials in global order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measure.hpp"
+#include "core/runner.hpp"
+#include "graph/graph.hpp"
+#include "local/metrics.hpp"
+#include "local/view_engine.hpp"
+#include "support/thread_pool.hpp"
+
+namespace avglocal::core {
+
+struct BatchedSweepOptions {
+  std::size_t trials = 32;
+  /// Master seed; trial streams derive from (seed, point, trial) exactly as
+  /// in run_random_sweep, so both sweeps see identical id permutations.
+  std::uint64_t seed = 42;
+  local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
+  /// Worker threads; 0 = hardware concurrency, explicit values honoured
+  /// exactly. The batched engine parallelises over vertices, so - unlike
+  /// run_random_sweep - more workers than trials stay busy. Ignored when
+  /// `pool` is set.
+  std::size_t threads = 0;
+  /// Optional externally owned worker pool, reused across sweeps.
+  support::ThreadPool* pool = nullptr;
+  /// Identifier assignments resident at once; 0 = the whole trial range.
+  /// Smaller batches bound memory (~ batch_size * n * 8 bytes per point) at
+  /// the cost of regrowing ball geometry once per batch. Results do not
+  /// depend on the batch size.
+  std::size_t batch_size = 0;
+  /// Probabilities of the radius quantiles reported per point.
+  std::vector<double> quantile_probs = {0.5, 0.9, 0.99};
+  /// Also report the per-vertex mean radius profile (n doubles per point).
+  bool node_profile = false;
+};
+
+/// Exact integer partials of (a trial range of) one sweep point. Every
+/// field is a sum, maximum or count of per-run integers; merging worker or
+/// shard partials in any order reproduces the monolithic totals bit for
+/// bit.
+struct PointAccumulator {
+  std::size_t point_index = 0;
+  std::size_t n = 0;
+  std::size_t trial_begin = 0;           ///< global index of trial_sum[0]
+  std::vector<std::uint64_t> trial_sum;  ///< per trial: sum_v r(v)
+  std::vector<std::uint64_t> trial_max;  ///< per trial: max_v r(v)
+  local::RadiusHistogram histogram;      ///< over all (vertex, trial) samples
+  std::vector<std::uint64_t> node_sum;   ///< per vertex: sum over trials of r(v)
+
+  std::size_t trial_count() const noexcept { return trial_sum.size(); }
+  std::size_t trial_end() const noexcept { return trial_begin + trial_sum.size(); }
+
+  /// Absorbs `other`, which must continue this accumulator's trial range
+  /// (same point and n, other.trial_begin == this->trial_end()).
+  void append(PointAccumulator&& other);
+
+  friend bool operator==(const PointAccumulator&, const PointAccumulator&) = default;
+};
+
+/// Aggregate of one sweep point: the SweepPoint measures (bit-identical to
+/// run_random_sweep under the same options) plus the averaged measures of
+/// arXiv:1704.05739 - the full r(v) sample distribution and the per-vertex
+/// (node-averaged) means.
+struct BatchedSweepPoint {
+  std::size_t n = 0;
+  std::size_t trials = 0;
+
+  // ID-averaged aggregates, exactly as in SweepPoint.
+  double avg_mean = 0.0;
+  double avg_sd = 0.0;
+  double avg_worst = 0.0;
+  double max_mean = 0.0;
+  std::size_t max_worst = 0;
+
+  /// Distribution of r(v) over all (vertex, assignment) samples.
+  RadiusDistribution radius;
+
+  /// Node-averaged measures: extrema over vertices of E_sigma[r(v)].
+  double node_mean_max = 0.0;
+  double node_mean_min = 0.0;
+  /// Per-vertex mean radii (only when options.node_profile).
+  std::vector<double> node_mean;
+
+  friend bool operator==(const BatchedSweepPoint&, const BatchedSweepPoint&) = default;
+};
+
+/// Runs trials [trial_begin, trial_end) of point `point_index` on `g` and
+/// returns exact partials. Building block of run_batched_sweep and of
+/// sharded execution (core/shard.hpp). `pool` may be null (serial).
+PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index,
+                                  const local::ViewAlgorithmFactory& algorithm,
+                                  const BatchedSweepOptions& options, std::size_t trial_begin,
+                                  std::size_t trial_end, support::ThreadPool* pool);
+
+/// Derives the reported point from complete partials; the accumulator must
+/// cover the full trial range [0, options.trials).
+BatchedSweepPoint finalize_point(const PointAccumulator& acc, const BatchedSweepOptions& options);
+
+/// Builds the view-algorithm factory for the size-n member of a family.
+/// Schedule-driven algorithms (Cole-Vishkin, ring MIS) parameterise their
+/// target radius on n, so a multi-point sweep needs one factory per point,
+/// not one for the whole sweep.
+using AlgorithmProvider = std::function<local::ViewAlgorithmFactory(std::size_t)>;
+
+/// Batched counterpart of run_random_sweep: same seeds, same per-trial
+/// radii, bit-identical avg/max aggregates - plus distribution and
+/// node-averaged measures - at a fraction of the per-trial cost.
+std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>& ns,
+                                                 const GraphFactory& graphs,
+                                                 const AlgorithmProvider& algorithms,
+                                                 const BatchedSweepOptions& options = {});
+
+/// Convenience overload for size-independent algorithms: one factory serves
+/// every point.
+std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>& ns,
+                                                 const GraphFactory& graphs,
+                                                 const local::ViewAlgorithmFactory& algorithm,
+                                                 const BatchedSweepOptions& options = {});
+
+}  // namespace avglocal::core

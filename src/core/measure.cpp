@@ -16,4 +16,18 @@ double measure_gap(const Measurement& m) {
   return static_cast<double>(m.max_radius) / m.avg_radius;
 }
 
+RadiusDistribution summarize_radius_histogram(const local::RadiusHistogram& histogram,
+                                              std::span<const double> probs) {
+  RadiusDistribution d;
+  d.samples = histogram.samples();
+  d.mean = histogram.mean();
+  d.max = histogram.max_radius();
+  d.probs.assign(probs.begin(), probs.end());
+  d.quantiles.reserve(probs.size());
+  for (double q : probs) {
+    d.quantiles.push_back(histogram.empty() ? 0 : histogram.quantile(q));
+  }
+  return d;
+}
+
 }  // namespace avglocal::core

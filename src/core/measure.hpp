@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "local/metrics.hpp"
 
@@ -29,5 +31,25 @@ Measurement measure(const local::RunResult& run);
 /// max / avg: the per-run gap between the two measures (>= 1 whenever some
 /// radius is positive).
 double measure_gap(const Measurement& m);
+
+/// Summary of the r(v) sample distribution over many runs: the averaged
+/// measures of arXiv:1704.05739 (the mean is the node- and ID-averaged
+/// radius; quantiles are the percentile profile of an "ordinary" node under
+/// an "ordinary" identifier assignment) next to the worst-case tail.
+struct RadiusDistribution {
+  std::uint64_t samples = 0;
+  double mean = 0.0;       ///< E over (vertex, assignment) of r(v)
+  std::size_t max = 0;     ///< largest radius in any sample
+  std::vector<double> probs;            ///< requested quantile probabilities
+  std::vector<std::size_t> quantiles;   ///< quantiles[i] pairs with probs[i]
+
+  friend bool operator==(const RadiusDistribution&, const RadiusDistribution&) = default;
+};
+
+/// Extracts the distribution measures from an accumulated histogram.
+/// `probs` entries must lie in [0, 1]; quantiles of an empty histogram are
+/// all zero.
+RadiusDistribution summarize_radius_histogram(const local::RadiusHistogram& histogram,
+                                              std::span<const double> probs);
 
 }  // namespace avglocal::core

@@ -25,15 +25,19 @@ std::vector<SweepPoint> run_random_sweep(const std::vector<std::size_t>& ns,
   AVGLOCAL_EXPECTS(options.trials >= 1);
 
   // One pool for the whole sweep: workers outlive every point, so threads
-  // are created exactly once no matter how many sizes are measured. More
-  // workers than trials would only ever idle, so cap there.
+  // are created exactly once no matter how many sizes are measured. An
+  // explicit thread count is honoured exactly (see SweepOptions::threads);
+  // only the default is capped at `trials`, the most this trial-parallel
+  // sweep can use.
   std::unique_ptr<support::ThreadPool> owned_pool;
   support::ThreadPool* pool = options.pool;
   if (pool == nullptr) {
-    std::size_t workers = options.threads != 0
-                              ? options.threads
-                              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    owned_pool = std::make_unique<support::ThreadPool>(std::min(workers, options.trials));
+    const std::size_t workers =
+        options.threads != 0
+            ? options.threads
+            : std::min(std::max<std::size_t>(1, std::thread::hardware_concurrency()),
+                       options.trials);
+    owned_pool = std::make_unique<support::ThreadPool>(workers);
     pool = owned_pool.get();
   }
 

@@ -38,7 +38,14 @@ struct SweepOptions {
   std::size_t trials = 32;
   std::uint64_t seed = 42;
   local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
-  /// Worker threads; 0 = hardware concurrency. Ignored when `pool` is set.
+  /// Worker threads; ignored when `pool` is set. The sizing rule:
+  ///  * 0 (default): min(hardware concurrency, trials) - this sweep
+  ///    parallelises over trials only, so more workers than trials would
+  ///    idle here;
+  ///  * explicit non-zero: honoured exactly, never clamped. Callers sizing
+  ///    one pool for a larger workload (e.g. the batched sweep engine,
+  ///    which parallelises over vertices and can keep more workers busy
+  ///    than one point has trials) must get the count they asked for.
   std::size_t threads = 0;
   /// Optional externally owned worker pool, reused across sweeps. When
   /// nullptr, the sweep creates one pool of `threads` workers up front and

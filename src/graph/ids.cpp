@@ -7,28 +7,40 @@
 
 namespace avglocal::graph {
 
+namespace {
+
+[[maybe_unused]] bool all_distinct(const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace
+
 IdAssignment::IdAssignment(std::vector<std::uint64_t> ids) : ids_(std::move(ids)) {
   AVGLOCAL_EXPECTS_MSG(!ids_.empty(), "empty id assignment");
-  std::vector<std::uint64_t> sorted = ids_;
-  std::sort(sorted.begin(), sorted.end());
-  AVGLOCAL_EXPECTS_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
-                       "identifiers must be pairwise distinct");
+  AVGLOCAL_EXPECTS_MSG(all_distinct(ids_), "identifiers must be pairwise distinct");
+}
+
+IdAssignment::IdAssignment(std::vector<std::uint64_t> ids, Trusted) : ids_(std::move(ids)) {
+  AVGLOCAL_ASSERT(!ids_.empty());
+  AVGLOCAL_ASSERT(all_distinct(ids_));
 }
 
 IdAssignment IdAssignment::identity(std::size_t n) {
   std::vector<std::uint64_t> ids(n);
   std::iota(ids.begin(), ids.end(), std::uint64_t{1});
-  return IdAssignment(std::move(ids));
+  return IdAssignment(std::move(ids), Trusted{});
 }
 
 IdAssignment IdAssignment::reversed(std::size_t n) {
   std::vector<std::uint64_t> ids(n);
   for (std::size_t v = 0; v < n; ++v) ids[v] = n - v;
-  return IdAssignment(std::move(ids));
+  return IdAssignment(std::move(ids), Trusted{});
 }
 
 IdAssignment IdAssignment::random(std::size_t n, support::Xoshiro256& rng) {
-  return IdAssignment(support::random_permutation(n, rng));
+  return IdAssignment(support::random_permutation(n, rng), Trusted{});
 }
 
 std::uint32_t IdAssignment::argmax() const noexcept {

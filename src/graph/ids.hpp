@@ -27,7 +27,11 @@ class IdAssignment {
   /// Reversed permutation: vertex v gets ID n-v.
   static IdAssignment reversed(std::size_t n);
 
-  /// Uniformly random permutation of {1..n}.
+  /// Uniformly random permutation of {1..n}. Constructed through the
+  /// trusted path: a Fisher-Yates shuffle of {1..n} is distinct by
+  /// construction, so the O(n log n) sort-and-check of the public
+  /// constructor is skipped (debug builds still assert distinctness).
+  /// This is the sweep hot loop: one allocation (the id vector), no sort.
   static IdAssignment random(std::size_t n, support::Xoshiro256& rng);
 
   std::size_t size() const noexcept { return ids_.size(); }
@@ -43,6 +47,14 @@ class IdAssignment {
   IdAssignment with_swapped(std::uint32_t u, std::uint32_t v) const;
 
  private:
+  /// Tag for constructors whose input is distinct by construction.
+  struct Trusted {};
+
+  /// Trusted path: skips the duplicate check in release builds (a debug
+  /// assert keeps the contract honest). Used by identity/reversed/random,
+  /// whose outputs are permutations by construction.
+  IdAssignment(std::vector<std::uint64_t> ids, Trusted);
+
   std::vector<std::uint64_t> ids_;
 };
 

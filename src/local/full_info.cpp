@@ -1,9 +1,7 @@
 #include "local/full_info.hpp"
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <queue>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -18,12 +16,26 @@ namespace {
 constexpr std::uint64_t kExistenceTag = 0;
 constexpr std::uint64_t kAdjacencyTag = 1;
 
+/// Inserts `value` into a sorted vector if absent; returns true when
+/// inserted. The flat-vector replacement for std::set::insert: fact sets
+/// here are ball-sized, so one tail shift beats a node allocation per
+/// insert, and ascending iteration order (which the reconstruction BFS
+/// relies on) is preserved.
+template <typename T>
+bool sorted_insert(std::vector<T>& values, const T& value) {
+  const auto it = std::lower_bound(values.begin(), values.end(), value);
+  if (it != values.end() && *it == value) return false;
+  values.insert(it, value);
+  return true;
+}
+
 struct KnownVertex {
   std::uint64_t degree = 0;
-  // port -> neighbour id, from this vertex's own adjacency facts.
-  std::map<std::uint64_t, std::uint64_t> port_facts;
-  // Edges known only from the far side (set of neighbour ids).
-  std::set<std::uint64_t> reverse_edges;
+  // (port, neighbour id) from this vertex's own adjacency facts, sorted by
+  // port - the same ascending order the former std::map iterated in.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> port_facts;
+  // Edges known only from the far side, sorted by neighbour id.
+  std::vector<std::uint64_t> reverse_edges;
 
   std::size_t known_edge_count() const {
     std::size_t count = port_facts.size();
@@ -48,7 +60,7 @@ class FullInfoNode final : public Algorithm {
   }
 
   void on_start(NodeContext& ctx) override {
-    auto& self = known_[ctx.id()];
+    KnownVertex& self = vertex_for(ctx.id());
     self.degree = ctx.degree();
     evaluate(ctx);
     Encoder e;
@@ -100,11 +112,29 @@ class FullInfoNode final : public Algorithm {
   }
 
  private:
+  /// Finds or creates the record of identifier `id`. known_ids_ / known_
+  /// form a sorted flat map (parallel arrays): lookups are binary searches,
+  /// inserts shift a ball-sized tail of cheap vector headers.
+  KnownVertex& vertex_for(std::uint64_t id) {
+    const auto it = std::lower_bound(known_ids_.begin(), known_ids_.end(), id);
+    const auto index = static_cast<std::size_t>(it - known_ids_.begin());
+    if (it == known_ids_.end() || *it != id) {
+      known_ids_.insert(it, id);
+      known_.insert(known_.begin() + static_cast<std::ptrdiff_t>(index), KnownVertex{});
+    }
+    return known_[index];
+  }
+
+  const KnownVertex* find_vertex(std::uint64_t id) const {
+    const auto it = std::lower_bound(known_ids_.begin(), known_ids_.end(), id);
+    if (it == known_ids_.end() || *it != id) return nullptr;
+    return &known_[static_cast<std::size_t>(it - known_ids_.begin())];
+  }
+
   void ingest_existence(std::uint64_t id, std::uint64_t degree, std::vector<Payload>& fresh) {
-    auto [it, inserted] = known_.try_emplace(id);
-    if (it->second.degree == 0) it->second.degree = degree;
-    if (inserted || !seen_existence_.contains(id)) {
-      seen_existence_.insert(id);
+    KnownVertex& kv = vertex_for(id);
+    if (kv.degree == 0) kv.degree = degree;
+    if (sorted_insert(seen_existence_, id)) {
       Encoder e;
       e.u64(kExistenceTag).u64(id).u64(degree);
       fresh.push_back(e.take());
@@ -113,10 +143,11 @@ class FullInfoNode final : public Algorithm {
 
   void ingest_adjacency(std::uint64_t id, std::uint64_t port, std::uint64_t nbr,
                         std::vector<Payload>& fresh) {
-    if (seen_adjacency_.contains({id, port})) return;
-    seen_adjacency_.insert({id, port});
-    known_[id].port_facts.emplace(port, nbr);
-    known_[nbr].reverse_edges.insert(id);
+    if (!sorted_insert(seen_adjacency_, {id, port})) return;
+    // vertex_for may reseat earlier references - finish with one record
+    // before asking for the next.
+    sorted_insert(vertex_for(id).port_facts, {port, nbr});
+    sorted_insert(vertex_for(nbr).reverse_edges, id);
     Encoder e;
     e.u64(kAdjacencyTag).u64(id).u64(port).u64(nbr);
     fresh.push_back(e.take());
@@ -126,80 +157,99 @@ class FullInfoNode final : public Algorithm {
   /// the inner view algorithm (if it has not output yet).
   void evaluate(NodeContext& ctx) {
     if (ctx.has_output()) return;
-    const BallView view = reconstruct(ctx);
-    if (const auto output = inner_->on_view(view)) ctx.output(*output);
+    reconstruct(ctx);
+    if (const auto output = inner_->on_view(view_)) ctx.output(*output);
   }
 
-  BallView reconstruct(NodeContext& ctx) const {
-    BallView view;
-    view.radius = static_cast<int>(ctx.round());
+  LocalVertex local_of(std::uint64_t id) const {
+    const auto it =
+        std::lower_bound(local_ids_.begin(), local_ids_.end(),
+                         std::pair<std::uint64_t, LocalVertex>{id, 0},
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it == local_ids_.end() || it->first != id) return kUnknownTarget;
+    return it->second;
+  }
 
-    std::map<std::uint64_t, LocalVertex> local_of;
-    std::vector<std::uint64_t> order;
+  /// Rebuilds view_ in place from the gossiped facts. Every buffer (BFS
+  /// order - which doubles as the work queue and the ids backing - the
+  /// sorted id -> local index, distances, ports) is a member reused across
+  /// rounds, so steady-state reconstruction stops allocating once the ball
+  /// reaches its high-water mark.
+  void reconstruct(NodeContext& ctx) {
+    view_.radius = static_cast<int>(ctx.round());
+    order_.clear();
+    local_ids_.clear();
+    view_.dist.clear();
+    view_.ports.clear();
+
     // BFS from the node's own id over known edges. Interior vertices always
     // have their full port map, so expansion follows exact port order.
-    std::queue<std::uint64_t> queue;
-    local_of[ctx.id()] = 0;
-    order.push_back(ctx.id());
-    view.dist.push_back(0);
-    queue.push(ctx.id());
-    while (!queue.empty()) {
-      const std::uint64_t x = queue.front();
-      queue.pop();
-      const int dx = view.dist[local_of[x]];
-      const auto it = known_.find(x);
-      if (it == known_.end()) continue;
-      for (const auto& [port, nbr] : it->second.port_facts) {
-        if (!local_of.contains(nbr)) {
-          local_of[nbr] = static_cast<LocalVertex>(order.size());
-          order.push_back(nbr);
-          view.dist.push_back(dx + 1);
-          queue.push(nbr);
+    order_.push_back(ctx.id());
+    local_ids_.push_back({ctx.id(), 0});
+    view_.dist.push_back(0);
+    for (std::size_t head = 0; head < order_.size(); ++head) {
+      const std::uint64_t x = order_[head];
+      const int dx = view_.dist[head];
+      const KnownVertex* kv = find_vertex(x);
+      if (kv == nullptr) continue;
+      for (const auto& [port, nbr] : kv->port_facts) {
+        if (local_of(nbr) == kUnknownTarget) {
+          sorted_insert(local_ids_, {nbr, static_cast<LocalVertex>(order_.size())});
+          order_.push_back(nbr);
+          view_.dist.push_back(dx + 1);
         }
       }
     }
 
-    view.ids = order;
+    view_.ids = order_;
     bool all_edges_known = true;
-    for (std::size_t local = 0; local < order.size(); ++local) {
-      const std::uint64_t x = order[local];
-      const KnownVertex& kv = known_.at(x);
-      view.ports.add_row(kv.degree);
+    for (std::size_t local = 0; local < order_.size(); ++local) {
+      const std::uint64_t x = order_[local];
+      const KnownVertex* kv = find_vertex(x);
+      AVGLOCAL_ASSERT(kv != nullptr);  // ingest_adjacency records both sides
+      view_.ports.add_row(kv->degree);
       // Exact placements from x's own facts.
-      for (const auto& [port, nbr] : kv.port_facts) {
-        const auto nit = local_of.find(nbr);
-        if (nit != local_of.end()) view.ports[local][port] = nit->second;
+      for (const auto& [port, nbr] : kv->port_facts) {
+        const LocalVertex target = local_of(nbr);
+        if (target != kUnknownTarget) view_.ports[local][port] = target;
       }
       // Reverse-known edges go into free slots (placement unknown; see
       // header comment).
-      for (std::uint64_t nbr : kv.reverse_edges) {
+      for (std::uint64_t nbr : kv->reverse_edges) {
         bool placed = false;
-        for (const auto& [port, target] : kv.port_facts) {
+        for (const auto& [port, target] : kv->port_facts) {
           if (target == nbr) {
             placed = true;
             break;
           }
         }
         if (placed) continue;
-        const auto nit = local_of.find(nbr);
-        if (nit == local_of.end()) continue;
-        for (auto& slot : view.ports[local]) {
+        const LocalVertex target = local_of(nbr);
+        if (target == kUnknownTarget) continue;
+        for (auto& slot : view_.ports[local]) {
           if (slot == kUnknownTarget) {
-            slot = nit->second;
+            slot = target;
             break;
           }
         }
       }
-      if (kv.known_edge_count() != kv.degree) all_edges_known = false;
+      if (kv->known_edge_count() != kv->degree) all_edges_known = false;
     }
-    view.covers_graph = all_edges_known;
-    return view;
+    view_.covers_graph = all_edges_known;
   }
 
   std::unique_ptr<ViewAlgorithm> inner_;
-  std::map<std::uint64_t, KnownVertex> known_;
-  std::set<std::uint64_t> seen_existence_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_adjacency_;
+  // Sorted flat map id -> KnownVertex, replacing the former std::map: the
+  // cross-validation suites spend their wall time in this adapter, and
+  // ball-sized sorted vectors beat node-based containers on every path.
+  std::vector<std::uint64_t> known_ids_;
+  std::vector<KnownVertex> known_;
+  std::vector<std::uint64_t> seen_existence_;                            // sorted
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen_adjacency_;  // sorted
+  // Reconstruction scratch, reused across rounds; view_.ids spans order_.
+  BallView view_;
+  std::vector<std::uint64_t> order_;
+  std::vector<std::pair<std::uint64_t, LocalVertex>> local_ids_;  // sorted by id
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace avglocal::local {
@@ -37,6 +38,55 @@ struct RunResult {
 
   /// avg_v r(v) - the paper's measure of this run.
   double average_radius() const noexcept;
+};
+
+/// Exact radius distribution accumulator: counts()[r] = number of
+/// (vertex, run) samples whose radius is r. All state is integer counts, so
+/// merging partial histograms - across workers of a pooled sweep or shards
+/// of a distributed one - is exact and order-independent: any merge order
+/// reproduces the monolithic totals bit for bit. This carries the averaged
+/// measures of arXiv:1704.05739 (node- and ID-averaged radius, percentile
+/// profiles) through batched sweeps.
+class RadiusHistogram {
+ public:
+  RadiusHistogram() = default;
+
+  /// Wraps existing bin counts (e.g. parsed from a shard artefact).
+  /// Trailing zero bins are trimmed so equality and merge results are
+  /// representation-independent.
+  explicit RadiusHistogram(std::vector<std::uint64_t> counts);
+
+  /// Records `count` samples of the given radius.
+  void add(std::size_t radius, std::uint64_t count = 1);
+
+  /// Records every radius of a run's profile.
+  void add_profile(const RadiusProfile& radii);
+
+  /// Adds another histogram's counts into this one (exact).
+  void merge(const RadiusHistogram& other);
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_ == 0; }
+
+  /// Bin counts; the last bin (if any) is nonzero.
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  /// Mean radius over all samples: the node- and ID-averaged complexity of
+  /// the recorded runs. 0 when empty.
+  double mean() const noexcept;
+
+  /// Largest radius observed (0 when empty).
+  std::size_t max_radius() const noexcept;
+
+  /// Smallest radius whose cumulative count reaches q * samples(), q in
+  /// [0, 1] (q = 0.5 is the median radius). Requires a non-empty histogram.
+  std::size_t quantile(double q) const;
+
+  friend bool operator==(const RadiusHistogram&, const RadiusHistogram&) = default;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t samples_ = 0;
 };
 
 }  // namespace avglocal::local

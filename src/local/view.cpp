@@ -93,7 +93,8 @@ void BallGrower::reset(graph::Vertex root) {
   global_of_.clear();
   frontier_.clear();
   view_.radius = 0;
-  view_.ids.clear();
+  ids_store_.clear();
+  view_.ids = ids_store_;
   view_.dist.clear();
   view_.ports.clear();
   unresolved_ports_ = 0;
@@ -103,10 +104,11 @@ void BallGrower::reset(graph::Vertex root) {
 }
 
 LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
-  const auto local = static_cast<LocalVertex>(view_.ids.size());
+  const auto local = static_cast<LocalVertex>(ids_store_.size());
   scratch_->local_of_[v] = local;
   global_of_.push_back(v);
-  view_.ids.push_back(ids_->id_of(v));
+  ids_store_.push_back(ids_->id_of(v));
+  view_.ids = ids_store_;  // the push may have re-seated the store
   view_.dist.push_back(dist);
   view_.ports.add_row(g_->degree(v));
   unresolved_ports_ += g_->degree(v);
@@ -130,6 +132,7 @@ void BallGrower::resolve_edge(graph::Vertex a, std::size_t port_a) {
 }
 
 void BallGrower::grow() {
+  view_.ids = ids_store_;  // drop any transient bind_ids binding
   ++view_.radius;
   if (view_.covers_graph) return;
 

@@ -94,7 +94,13 @@ struct BallView {
   int radius = 0;
 
   /// ids[local] = identifier of the local-th ball vertex; ids[0] = root's.
-  std::vector<std::uint64_t> ids;
+  /// Non-owning: the engine that materialises the view owns the storage
+  /// (the grower's id store, a batched sweep's per-assignment buffer, a
+  /// synthetic view's backing array) and keeps it alive across the
+  /// algorithm call. This is what lets the batched engine re-point one
+  /// shared view at hundreds of assignment buffers without copying or
+  /// swapping vectors.
+  std::span<const std::uint64_t> ids;
 
   /// dist[local] = distance from the root.
   std::vector<int> dist;
@@ -158,6 +164,20 @@ class BallGrower {
     std::vector<LocalVertex> local_of_;
   };
 
+  /// Ball vertices in discovery order (local index -> global vertex).
+  /// Everything about this order - and about dist, ports and coverage - is
+  /// identifier-independent: the BFS follows port order and never consults
+  /// an identifier. The batched view engine exploits this to share one
+  /// grower's geometry across every identifier assignment of a batch.
+  std::span<const graph::Vertex> global_vertices() const noexcept { return global_of_; }
+
+  /// Points the view's identifier span at an external array (the batched
+  /// engine binds a per-assignment buffer, gathered over global_vertices()
+  /// in the same discovery order and as long as the current ball, around
+  /// each algorithm call). The binding is transient: reset() and grow()
+  /// re-point the span at the grower's own identifiers.
+  void bind_ids(std::span<const std::uint64_t> ids) noexcept { view_.ids = ids; }
+
   /// Starts a radius-0 view rooted at `root`. `ids` must match `g`.
   /// The scratch must not be shared by two live growers.
   BallGrower(const graph::Graph& g, const graph::IdAssignment& ids, graph::Vertex root,
@@ -188,10 +208,12 @@ class BallGrower {
   ViewSemantics semantics_;
   Scratch* scratch_;
   BallView view_;
+  std::vector<std::uint64_t> ids_store_;      // backs view_.ids when not bound
   std::vector<graph::Vertex> global_of_;      // local -> global vertex
   std::vector<graph::Vertex> frontier_;       // vertices at distance == radius
   std::vector<graph::Vertex> next_frontier_;  // reused across grow() calls
   std::size_t unresolved_ports_ = 0;
 };
+
 
 }  // namespace avglocal::local

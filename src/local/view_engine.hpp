@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
@@ -31,6 +32,33 @@ class ViewAlgorithm {
   virtual ~ViewAlgorithm() = default;
 
   virtual std::optional<std::int64_t> on_view(const BallView& view) = 0;
+
+  /// Returns this instance to its initial state so it can serve a fresh
+  /// vertex, as if newly constructed. Implementations supporting reuse
+  /// return true; the default returns false and the engine constructs a new
+  /// instance instead. The batched engine calls this once per
+  /// (vertex, assignment), so supporting it removes one allocation per run.
+  virtual bool reset() noexcept { return false; }
+
+  /// Smallest radius at which this instance could possibly commit on a view
+  /// that does not yet cover the graph. Both engines skip on_view below
+  /// this bound while !covers_graph - a contract, not a heuristic: the
+  /// implementation guarantees the skipped calls would have returned
+  /// nullopt, so radii are unaffected and the engine saves one virtual call
+  /// per vertex per skipped radius. The default (0) never skips. Examples:
+  /// largest-id can never commit on a 1-vertex non-covering view (1), and
+  /// schedule-driven algorithms wait for a fixed target radius.
+  virtual std::size_t min_radius() const noexcept { return 0; }
+
+  /// Declares that on_view reads only `radius`, `ids`, `size()` and
+  /// `covers_graph` - never `dist`, `ports` or anything derived from them
+  /// (degree_of, try_extract_ring_view, ...). The batched engine finishes
+  /// thinned-out batches of such algorithms on a sequential fast path whose
+  /// views carry exact identifiers, radius and coverage but empty
+  /// dist/ports. Opt-in and a hard contract: an implementation that reads
+  /// edge or distance data after returning true sees empty arrays. The
+  /// default (false) always receives complete views.
+  virtual bool ids_only_view() const noexcept { return false; }
 };
 
 /// Creates one ViewAlgorithm instance per vertex.
@@ -60,6 +88,26 @@ struct ViewEngineOptions {
 /// parallel with per-worker growers and scratch.
 RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
                     const ViewAlgorithmFactory& factory, const ViewEngineOptions& options = {});
+
+/// Per-(vertex, assignment) result callback of run_views_batched. `worker`
+/// identifies the executing pool worker (always 0 on the serial path),
+/// stable across one call - usable to index per-worker accumulators.
+/// Different workers invoke the sink concurrently (for different vertices);
+/// any single worker invokes it serially.
+using BatchedResultFn = std::function<void(std::size_t worker, std::size_t trial, graph::Vertex v,
+                                           std::int64_t output, std::size_t radius)>;
+
+/// Runs the algorithm on every vertex under every id-assignment of `batch`
+/// in one pass, vertices as the outer loop: each vertex's ball geometry is
+/// grown once and replayed per assignment (local::BallReplayer), so the
+/// per-trial cost is an identifier gather plus the algorithm itself -
+/// rather than a full BFS regrowth as in per-trial run_views calls. Every
+/// assignment must match the graph. Results stream through `sink` instead of
+/// materialising batch.size() RunResults; outputs and radii are
+/// bit-identical to run_views on each assignment, for every pool size.
+void run_views_batched(const graph::Graph& g, std::span<const graph::IdAssignment> batch,
+                       const ViewAlgorithmFactory& factory, const ViewEngineOptions& options,
+                       const BatchedResultFn& sink);
 
 /// Runs the algorithm on a single vertex; returns (output, radius).
 std::pair<std::int64_t, std::size_t> run_view_on_vertex(const graph::Graph& g,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/assert.hpp"
 
@@ -27,6 +28,14 @@ double RunningStats::variance() const noexcept {
 }
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double RunningStats::max() const noexcept {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
 
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.count_ == 0) return;

@@ -24,11 +24,16 @@ class RunningStats {
   /// Sample standard deviation.
   double stddev() const noexcept;
 
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  /// Smallest / largest observation. An empty accumulator has no extrema:
+  /// both return quiet NaN (which propagates loudly through comparisons and
+  /// arithmetic instead of leaking an indeterminate stale value).
+  double min() const noexcept;
+  double max() const noexcept;
   double sum() const noexcept { return sum_; }
 
-  /// Merges another accumulator into this one (parallel reduction).
+  /// Merges another accumulator into this one (parallel reduction). Either
+  /// side may be empty: merging an empty accumulator is a no-op, and merging
+  /// into an empty one copies `other` (including its extrema).
   void merge(const RunningStats& other) noexcept;
 
  private:

@@ -16,6 +16,7 @@
 #include "local/flood_probe.hpp"
 #include "local/message_arena.hpp"
 #include "support/alloc_hook.hpp"
+#include "support/rng.hpp"
 
 AVGLOCAL_DEFINE_ALLOC_HOOK();
 
@@ -24,6 +25,31 @@ namespace {
 using namespace avglocal;
 using local::AllocSampler;
 using local::FloodRelay;
+
+TEST(IdAssignmentAlloc, RandomUsesTrustedValidationPath) {
+  // The sweep hot loop: IdAssignment::random is a permutation by
+  // construction, so it must not pay the public constructor's
+  // sort-and-check (which costs O(n log n) plus a second vector per trial).
+  // Pin the allocation count: exactly one (the id vector itself). Debug
+  // builds assert distinctness through a sorted copy, so the pin only holds
+  // with asserts compiled out.
+  support::Xoshiro256 rng(7);
+  {  // warm up: gtest bookkeeping and the rng stream must not count
+    const auto ids = graph::IdAssignment::random(4096, rng);
+    ASSERT_EQ(ids.size(), 4096u);
+  }
+#ifdef NDEBUG
+  const auto before = support::alloc_counts();
+  const auto ids = graph::IdAssignment::random(4096, rng);
+  const auto after = support::alloc_counts();
+  EXPECT_EQ(ids.size(), 4096u);
+  EXPECT_EQ(after.allocations - before.allocations, 1u)
+      << "random id assignments must allocate the id vector and nothing else";
+  EXPECT_GE(after.bytes - before.bytes, 4096u * sizeof(std::uint64_t));
+#else
+  GTEST_SKIP() << "debug builds re-validate trusted ids (and may allocate doing so)";
+#endif
+}
 
 TEST(AllocHook, CountsAllocations) {
   const auto before = support::alloc_counts();

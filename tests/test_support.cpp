@@ -5,7 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "local/metrics.hpp"
 #include "support/csv.hpp"
+#include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
@@ -15,6 +17,8 @@
 namespace {
 
 using namespace avglocal::support;
+namespace support = avglocal::support;
+namespace local = avglocal::local;
 
 TEST(Rng, SplitMixIsDeterministic) {
   SplitMix64 a(42), b(42);
@@ -234,6 +238,133 @@ TEST(JsonWriter, DoublesRoundTrip) {
   JsonWriter json;
   json.begin_array().value(0.1).value(1e300).end_array();
   EXPECT_EQ(json.str(), "[0.1,1e+300]");
+}
+
+TEST(Stats, EmptyExtremaAreNaN) {
+  // The empty-state contract: an accumulator with no observations has no
+  // extrema, and NaN propagates loudly where a stale 0.0 would lie.
+  const support::RunningStats empty;
+  EXPECT_TRUE(std::isnan(empty.min()));
+  EXPECT_TRUE(std::isnan(empty.max()));
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.sum(), 0.0);
+  EXPECT_EQ(empty.count(), 0u);
+
+  support::RunningStats one;
+  one.add(-3.5);
+  EXPECT_DOUBLE_EQ(one.min(), -3.5);
+  EXPECT_DOUBLE_EQ(one.max(), -3.5);
+}
+
+TEST(Stats, MergeHandlesEmptySides) {
+  support::RunningStats filled;
+  filled.add(2.0);
+  filled.add(-4.0);
+
+  // Empty into filled: a no-op (extrema must not absorb the empty side's
+  // indeterminate state).
+  support::RunningStats a = filled;
+  a.merge(support::RunningStats());
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), -4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+
+  // Filled into empty: copies everything, including extrema.
+  support::RunningStats b;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), -4.0);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+
+  // Empty into empty: still empty, extrema still NaN.
+  support::RunningStats c;
+  c.merge(support::RunningStats());
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_TRUE(std::isnan(c.min()));
+  EXPECT_TRUE(std::isnan(c.max()));
+}
+
+TEST(JsonReader, ParsesScalarsArraysAndObjects) {
+  const auto doc = support::parse_json(
+      "  {\"name\": \"a\\\"b\\n\", \"flag\": true, \"none\": null,\n"
+      "   \"big\": 18446744073709551615, \"neg\": -42, \"pi\": 3.25,\n"
+      "   \"items\": [1, 2, 3], \"nested\": {\"k\": [false]}}  ");
+  EXPECT_EQ(doc.at("name").as_string(), "a\"b\n");
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  // 2^64 - 1 round-trips exactly: integers never pass through a double.
+  EXPECT_EQ(doc.at("big").as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(doc.at("neg").as_i64(), -42);
+  EXPECT_DOUBLE_EQ(doc.at("pi").as_double(), 3.25);
+  ASSERT_EQ(doc.at("items").size(), 3u);
+  EXPECT_EQ(doc.at("items")[1].as_u64(), 2u);
+  EXPECT_FALSE(doc.at("nested").at("k")[0].as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  support::JsonWriter writer;
+  writer.begin_object();
+  writer.key("values").begin_array();
+  writer.value(std::uint64_t{0}).value(std::uint64_t{1234567890123456789ull});
+  writer.end_array();
+  writer.key("text").value("line\nbreak \"quoted\"");
+  writer.key("x").value(0.1);
+  writer.end_object();
+
+  const auto doc = support::parse_json(writer.str());
+  EXPECT_EQ(doc.at("values")[1].as_u64(), 1234567890123456789ull);
+  EXPECT_EQ(doc.at("text").as_string(), "line\nbreak \"quoted\"");
+  EXPECT_DOUBLE_EQ(doc.at("x").as_double(), 0.1);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(support::parse_json(""), std::runtime_error);
+  EXPECT_THROW(support::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(support::parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(support::parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(support::parse_json("true false"), std::runtime_error);
+  EXPECT_THROW(support::parse_json("12..5"), std::runtime_error);
+  EXPECT_THROW(support::parse_json("\"unterminated"), std::runtime_error);
+  // Type mismatches are runtime errors too.
+  const auto doc = support::parse_json("{\"a\": \"text\"}");
+  EXPECT_THROW(doc.at("a").as_u64(), std::runtime_error);
+  EXPECT_THROW(doc.at("a")[0], std::runtime_error);
+  // A negative number is not a u64.
+  EXPECT_THROW(support::parse_json("-1").as_u64(), std::runtime_error);
+}
+
+TEST(RadiusHistogram, CountsMergesAndQuantiles) {
+  local::RadiusHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+
+  hist.add(0, 4);
+  hist.add(2, 4);
+  hist.add(10);
+  EXPECT_EQ(hist.samples(), 9u);
+  EXPECT_EQ(hist.max_radius(), 10u);
+  EXPECT_DOUBLE_EQ(hist.mean(), (0.0 * 4 + 2.0 * 4 + 10.0) / 9.0);
+  EXPECT_EQ(hist.quantile(0.0), 0u);
+  EXPECT_EQ(hist.quantile(0.44), 0u);  // cumulative 4/9 covers it
+  EXPECT_EQ(hist.quantile(0.5), 2u);
+  EXPECT_EQ(hist.quantile(0.88), 2u);  // target 7.92 <= cumulative 8
+  EXPECT_EQ(hist.quantile(0.95), 10u);
+  EXPECT_EQ(hist.quantile(1.0), 10u);
+
+  local::RadiusHistogram other;
+  other.add(1, 2);
+  hist.merge(other);
+  EXPECT_EQ(hist.samples(), 11u);
+  EXPECT_EQ(hist.counts()[1], 2u);
+
+  // Construction from raw counts trims trailing zeros, so equality is
+  // representation-independent.
+  local::RadiusHistogram padded(std::vector<std::uint64_t>{4, 2, 4, 0, 0});
+  local::RadiusHistogram tight(std::vector<std::uint64_t>{4, 2, 4});
+  EXPECT_EQ(padded, tight);
 }
 
 }  // namespace

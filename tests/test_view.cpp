@@ -2,6 +2,7 @@
 // semantics, ring view extraction, and the view engine loop.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "graph/generators.hpp"
@@ -82,15 +83,15 @@ TEST(BallGrower, ViewIdsAreAppendOnly) {
   const auto ids = graph::IdAssignment::random(n, rng);
   BallGrower::Scratch scratch(n);
   BallGrower grower(g, ids, 3, ViewSemantics::kInducedBall, scratch);
-  std::vector<std::uint64_t> prefix = grower.view().ids;
+  std::vector<std::uint64_t> prefix(grower.view().ids.begin(), grower.view().ids.end());
   for (int r = 1; r <= 8; ++r) {
     grower.grow();
-    const auto& now = grower.view().ids;
+    const auto now = grower.view().ids;
     ASSERT_GE(now.size(), prefix.size());
     for (std::size_t i = 0; i < prefix.size(); ++i) {
       EXPECT_EQ(now[i], prefix[i]) << "prefix must be stable";
     }
-    prefix = now;
+    prefix.assign(now.begin(), now.end());
   }
 }
 
@@ -293,7 +294,7 @@ TEST(BallGrower, ResetReRootsAndMatchesFreshGrower) {
     const auto& a = reused.view();
     const auto& b = fresh.view();
     ASSERT_EQ(a.size(), b.size()) << "root " << root;
-    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_TRUE(std::equal(a.ids.begin(), a.ids.end(), b.ids.begin(), b.ids.end()));
     EXPECT_EQ(a.dist, b.dist);
     EXPECT_EQ(a.covers_graph, b.covers_graph);
     for (std::size_t v = 0; v < a.size(); ++v) {
