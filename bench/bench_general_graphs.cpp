@@ -1,11 +1,17 @@
-// E10: the paper's "further work" - largest-ID beyond the cycle, plus
+// E10/E13: the paper's "further work" - largest-ID beyond the cycle, plus
 // engine timings across graph families.
+//
+// The timed families are not hand-picked: one benchmark is registered per
+// entry of graph::FamilyRegistry, so a newly registered generator shows up
+// in the timing table (and in the E10/E13 experiment tables) with no bench
+// changes.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "algo/largest_id.hpp"
-#include <cmath>
 #include "bench_common.hpp"
-#include "graph/generators.hpp"
+#include "graph/family_registry.hpp"
 #include "graph/ids.hpp"
 #include "local/view_engine.hpp"
 #include "support/rng.hpp"
@@ -14,11 +20,11 @@ namespace {
 
 using namespace avglocal;
 
-template <typename MakeGraph>
-void run_family(benchmark::State& state, MakeGraph make) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+void run_family(benchmark::State& state, const std::string& family) {
+  const auto requested = static_cast<std::size_t>(state.range(0));
   support::Xoshiro256 rng(4);
-  const graph::Graph g = make(n, rng);
+  const graph::Graph g =
+      graph::FamilyRegistry::global().build({family, {}}, requested, rng);
   const auto ids = graph::IdAssignment::random(g.vertex_count(), rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -28,29 +34,25 @@ void run_family(benchmark::State& state, MakeGraph make) {
                           static_cast<std::int64_t>(g.vertex_count()));
 }
 
-void BM_LargestIdOnPath(benchmark::State& state) {
-  run_family(state, [](std::size_t n, support::Xoshiro256&) { return graph::make_path(n); });
+void register_family_benchmarks() {
+  for (const std::string& family : graph::FamilyRegistry::global().names()) {
+    // Dense families square their edge count in n; cap them so the sweep
+    // stays about graph structure, not allocator throughput.
+    const bool dense = family == "complete";
+    benchmark::RegisterBenchmark(
+        ("BM_LargestIdOn/" + family).c_str(),
+        [family](benchmark::State& state) { run_family(state, family); })
+        ->RangeMultiplier(4)
+        ->Range(256, dense ? 1 << 10 : 1 << 12);
+  }
 }
-BENCHMARK(BM_LargestIdOnPath)->RangeMultiplier(4)->Range(256, 1 << 12);
-
-void BM_LargestIdOnTree(benchmark::State& state) {
-  run_family(state,
-             [](std::size_t n, support::Xoshiro256& rng) { return graph::make_random_tree(n, rng); });
-}
-BENCHMARK(BM_LargestIdOnTree)->RangeMultiplier(4)->Range(256, 1 << 12);
-
-void BM_LargestIdOnTorus(benchmark::State& state) {
-  run_family(state, [](std::size_t n, support::Xoshiro256&) {
-    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-    return graph::make_torus(side, side);
-  });
-}
-BENCHMARK(BM_LargestIdOnTorus)->RangeMultiplier(4)->Range(256, 1 << 12);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_family_benchmarks();
   return avglocal::bench::run(argc, argv,
                               {avglocal::core::experiment_general_graphs,
-                               avglocal::core::experiment_greedy_colouring});
+                               avglocal::core::experiment_greedy_colouring,
+                               avglocal::core::experiment_topology_matrix});
 }

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "algo/largest_id.hpp"
+#include "core/batched_sweep.hpp"
+#include "core/scenario.hpp"
 #include "graph/generators.hpp"
 #include "graph/ids.hpp"
 #include "local/engine.hpp"
@@ -266,6 +268,61 @@ SweepThroughput bench_view_sweep(std::size_t n, std::size_t trials, std::uint64_
 }
 
 // ------------------------------------------------------------------------
+// Scenario-layer dispatch overhead: the same sweep once through
+// run_batched_sweep directly and once through the scenario registries
+// (resolve + run_scenario). The registry is consulted per point, never per
+// trial or per vertex, so the two must stay within noise of each other;
+// full runs gate the overhead at 2% so the declarative layer can never
+// silently tax the hot path.
+// ------------------------------------------------------------------------
+
+struct DispatchOverhead {
+  double direct_trials_per_sec = 0;
+  double scenario_trials_per_sec = 0;
+  double overhead_pct = 0;
+};
+
+DispatchOverhead bench_scenario_dispatch(std::size_t n, std::size_t trials, std::uint64_t seed,
+                                         std::size_t repetitions) {
+  DispatchOverhead out;
+  // Interleaved best-of-N: a 2% gate is far inside single-shot wall-clock
+  // noise, so each leg keeps its fastest repetition, and alternating the
+  // legs stops cache warm-up or a scheduler hiccup from biasing one side.
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    {
+      const auto graphs = [](std::size_t m) { return graph::make_cycle(m); };
+      core::BatchedSweepOptions options;
+      options.trials = trials;
+      options.seed = seed;
+      options.threads = 1;
+      const auto start = Clock::now();
+      const auto points =
+          core::run_batched_sweep({n}, graphs, algo::make_largest_id_view(), options);
+      out.direct_trials_per_sec = std::max(out.direct_trials_per_sec,
+                                           static_cast<double>(trials) / seconds_since(start));
+      if (points.empty()) std::abort();
+    }
+    {
+      core::ScenarioSpec spec;
+      spec.family = {"cycle", {}};
+      spec.algorithm = "largest-id";
+      spec.ns = {n};
+      spec.seed = seed;
+      spec.schedule.max_trials = trials;
+      core::ScenarioExecution execution;
+      execution.threads = 1;
+      const auto start = Clock::now();
+      const auto result = core::run_scenario(spec, execution);
+      out.scenario_trials_per_sec = std::max(out.scenario_trials_per_sec,
+                                             static_cast<double>(trials) / seconds_since(start));
+      if (result.points.empty()) std::abort();
+    }
+  }
+  out.overhead_pct = (out.direct_trials_per_sec / out.scenario_trials_per_sec - 1.0) * 100.0;
+  return out;
+}
+
+// ------------------------------------------------------------------------
 // Message-engine benchmark: rounds/sec + per-round heap traffic.
 // ------------------------------------------------------------------------
 
@@ -336,6 +393,8 @@ int main(int argc, char** argv) {
   const std::size_t engine_rounds = smoke ? 64 : 256;
 
   const SweepThroughput sweep = bench_view_sweep(n, trials, /*seed=*/42);
+  const DispatchOverhead dispatch =
+      bench_scenario_dispatch(n, trials, /*seed=*/42, /*repetitions=*/smoke ? 1 : 3);
   const EngineThroughput engine = bench_message_engine(engine_n, engine_rounds);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -359,6 +418,11 @@ int main(int argc, char** argv) {
   json.key("serial_speedup_vs_legacy").value(serial_ratio);
   json.key("pooled_speedup_vs_legacy").value(pooled_ratio);
   json.key("batched_sweep_speedup_vs_per_trial").value(batched_ratio);
+  json.end_object();
+  json.key("scenario_layer").begin_object();
+  json.key("direct_trials_per_sec").value(dispatch.direct_trials_per_sec);
+  json.key("scenario_trials_per_sec").value(dispatch.scenario_trials_per_sec);
+  json.key("registry_dispatch_overhead_pct").value(dispatch.overhead_pct);
   json.end_object();
   json.key("message_engine").begin_object();
   json.key("topology").value("ring");
@@ -385,6 +449,11 @@ int main(int argc, char** argv) {
   if (!smoke && batched_ratio < 1.5) {
     std::cerr << "bench_regression: batched sweep speedup " << batched_ratio << " < 1.5\n";
     return 4;
+  }
+  if (!smoke && dispatch.overhead_pct > 2.0) {
+    std::cerr << "bench_regression: scenario-layer dispatch overhead " << dispatch.overhead_pct
+              << "% > 2%\n";
+    return 5;
   }
   return 0;
 }

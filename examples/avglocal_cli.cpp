@@ -1,15 +1,22 @@
-// avglocal_cli: run any bundled LOCAL algorithm on any graph family from
-// the command line and report both measures (optionally per-vertex CSV),
-// or drive batched / sharded random sweeps.
+// avglocal_cli: every bundled LOCAL algorithm on every graph family, by
+// name, through the scenario registries - single runs, batched/adaptive
+// sweeps, sharded sweeps across processes and a local multi-process driver.
 //
-// Single runs (the default subcommand):
+// Discover the workload space:
+//   avglocal_cli list
+//
+// Single runs (the default subcommand; message algorithms included):
 //   avglocal_cli --algo largest-id --graph cycle --n 1024 --seed 7
-//   avglocal_cli --algo cv3 --graph cycle --n 4096 --csv radii.csv
-//   avglocal_cli --algo mis --graph cycle --n 256 --semantics flooding
+//   avglocal_cli --algo greedy --graph random-regular:degree=4 --n 4096
+//   avglocal_cli --algo local3 --graph cycle --n 256 --csv radii.csv
 //
-// Batched sweeps (many id-assignments per graph in one pass):
-//   avglocal_cli sweep --algo largest-id --graph cycle --ns 256,1024,4096
+// Batched sweeps (many id-assignments per graph in one pass); --target-hw
+// turns on the adaptive trial schedule, which grows the trial count in
+// batches until the avg-mean confidence interval closes:
+//   avglocal_cli sweep --algo largest-id --graph torus --ns 256,1024,4096
 //                      --trials 200 --seed 42 --json sweep.json
+//   avglocal_cli sweep --algo cv3 --graph cycle --ns 4096 --trials 5000
+//                      --target-hw 0.05 --min-trials 32 --adaptive-batch 64
 //
 // Sharded sweeps (run shard i of k anywhere, then merge the artefacts;
 // the merge is bit-identical to the monolithic sweep):
@@ -17,27 +24,33 @@
 //   ... shards 1/4, 2/4, 3/4 on other hosts ...
 //   avglocal_cli merge --json sweep.json s0.json s1.json s2.json s3.json
 //
-// Algorithms: largest-id | largest-id-ua | cv3 | mis | local3 (message based)
-// Graphs:     cycle | path | tree | grid | torus | gnp | complete
+// Or let the driver schedule the shards as local subprocesses (failed
+// shards are retried, artefacts merged bit-identically):
+//   avglocal_cli drive --algo largest-id --graph gnp:avg-degree=6
+//                      --ns 1024,4096 --trials 1000 --shards 4 --json sweep.json
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "algo/cole_vishkin.hpp"
-#include "algo/largest_id.hpp"
-#include "algo/local_colouring.hpp"
-#include "algo/mis_ring.hpp"
-#include "algo/validity.hpp"
-#include "core/batched_sweep.hpp"
+#include "algo/registry.hpp"
 #include "core/measure.hpp"
 #include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "core/shard.hpp"
-#include "graph/generators.hpp"
+#include "graph/family_registry.hpp"
 #include "graph/ids.hpp"
 #include "local/engine.hpp"
 #include "local/view_engine.hpp"
@@ -45,11 +58,160 @@
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
 
+extern char** environ;
+
 namespace {
 
 using namespace avglocal;
 
-struct Options {
+// ------------------------------------------------------------- helpers ----
+
+local::ViewSemantics parse_semantics(const std::string& name) {
+  const auto semantics = local::view_semantics_from_name(name);
+  if (!semantics) throw std::invalid_argument("unknown semantics '" + name + "' (induced|flooding)");
+  return *semantics;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) values.push_back(std::stoull(item));
+  if (values.empty()) throw std::invalid_argument("empty size list");
+  return values;
+}
+
+std::string join_sizes(const std::vector<std::size_t>& ns) {
+  std::string out;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ns[i]);
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  file << text << "\n";
+  return true;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void print_points(const std::vector<core::ScenarioPoint>& points, bool adaptive) {
+  std::cout << "      n   trials   avg_mean     avg_sd      ci_hw   max_mean  max_worst   "
+               "p50  p90  p99   node_mean_max\n";
+  for (const auto& sp : points) {
+    const auto& p = sp.point;
+    std::printf("%7zu  %7zu  %9.4f  %9.4f  %9.4f  %9.2f  %9zu  %4zu %4zu %4zu   %13.4f\n",
+                p.n, p.trials, p.avg_mean, p.avg_sd, sp.half_width, p.max_mean, p.max_worst,
+                p.radius.quantiles.size() > 0 ? p.radius.quantiles[0] : 0,
+                p.radius.quantiles.size() > 1 ? p.radius.quantiles[1] : 0,
+                p.radius.quantiles.size() > 2 ? p.radius.quantiles[2] : 0, p.node_mean_max);
+  }
+  if (adaptive) {
+    for (const auto& sp : points) {
+      std::cout << "  n=" << sp.point.n << ": "
+                << (sp.converged ? "converged after " : "hit the trial cap at ")
+                << sp.point.trials << " trials (half-width " << sp.half_width << ")\n";
+    }
+  }
+}
+
+/// The sweep report document. Produced identically by the monolithic
+/// `sweep`, by `merge` and by `drive`, so artefact-path outputs can be
+/// compared byte-for-byte against the monolithic run (CI does).
+std::string sweep_report_json(const core::ScenarioSpec& spec,
+                              const std::vector<core::ScenarioPoint>& points) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("avglocal_sweep").value(std::uint64_t{2});
+  json.key("scenario");
+  core::write_scenario_json(json, spec);
+  json.key("points").begin_array();
+  for (const auto& sp : points) {
+    const auto& p = sp.point;
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(p.n));
+    json.key("trials").value(static_cast<std::uint64_t>(p.trials));
+    json.key("converged").value(sp.converged);
+    json.key("half_width").value(sp.half_width);
+    json.key("avg_mean").value(p.avg_mean);
+    json.key("avg_sd").value(p.avg_sd);
+    json.key("avg_worst").value(p.avg_worst);
+    json.key("max_mean").value(p.max_mean);
+    json.key("max_worst").value(static_cast<std::uint64_t>(p.max_worst));
+    json.key("radius_mean").value(p.radius.mean);
+    json.key("radius_max").value(static_cast<std::uint64_t>(p.radius.max));
+    json.key("quantile_probs").begin_array();
+    for (double q : p.radius.probs) json.value(q);
+    json.end_array();
+    json.key("quantiles").begin_array();
+    for (std::size_t r : p.radius.quantiles) json.value(static_cast<std::uint64_t>(r));
+    json.end_array();
+    json.key("node_mean_min").value(p.node_mean_min);
+    json.key("node_mean_max").value(p.node_mean_max);
+    if (!p.node_mean.empty()) {
+      json.key("node_mean").begin_array();
+      for (double m : p.node_mean) json.value(m);
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+// ---------------------------------------------------------------- list ----
+
+int run_list_command() {
+  const auto& families = graph::FamilyRegistry::global();
+  std::cout << "graph families (--graph NAME or NAME:param=value,...):\n";
+  for (const std::string& name : families.names()) {
+    const graph::GraphFamily& family = families.at(name);
+    std::printf("  %-16s %s%s\n", family.name.c_str(), family.randomised ? "[random] " : "",
+                family.description.c_str());
+    for (const auto& param : family.params) {
+      std::printf("  %-16s   param %s=%g: %s\n", "", param.name.c_str(), param.default_value,
+                  param.description.c_str());
+    }
+  }
+
+  const auto& algorithms = algo::AlgorithmRegistry::global();
+  std::cout << "\nview algorithms (--algo; single runs and sweeps):\n";
+  for (const std::string& name : algorithms.names(algo::AlgorithmKind::kView)) {
+    const algo::AlgorithmInfo& info = algorithms.at(name);
+    const algo::ViewCapabilities caps = algo::AlgorithmRegistry::probe(info, 256);
+    std::printf("  %-16s %s (%s; batched mode: %s%s)\n", info.name.c_str(),
+                info.description.c_str(), info.constraint.c_str(),
+                caps.ids_only_view ? "sequential/ids-only" : "lockstep",
+                caps.min_radius > 0
+                    ? (", skips radii < " + std::to_string(caps.min_radius) + " at n=256").c_str()
+                    : "");
+  }
+  std::cout << "\nmessage algorithms (--algo; single runs only):\n";
+  for (const std::string& name : algorithms.names(algo::AlgorithmKind::kMessage)) {
+    const algo::AlgorithmInfo& info = algorithms.at(name);
+    std::printf("  %-16s %s (%s)\n", info.name.c_str(), info.description.c_str(),
+                info.constraint.c_str());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- run ----
+
+struct RunOptions {
   std::string algo = "largest-id";
   std::string graph = "cycle";
   std::size_t n = 256;
@@ -61,14 +223,15 @@ struct Options {
 void usage() {
   std::cout << "usage: avglocal_cli [--algo A] [--graph G] [--n N] [--seed S]\n"
                "                    [--semantics induced|flooding] [--csv FILE]\n"
-               "       avglocal_cli sweep ...   (batched/sharded random sweeps; --help)\n"
-               "       avglocal_cli merge ...   (recombine shard artefacts; --help)\n"
-               "  algos : largest-id largest-id-ua cv3 mis local3\n"
-               "  graphs: cycle path tree grid torus gnp complete\n";
+               "       avglocal_cli list          (enumerate graph families and algorithms)\n"
+               "       avglocal_cli sweep ...     (batched/adaptive/sharded sweeps; --help)\n"
+               "       avglocal_cli merge ...     (recombine shard artefacts; --help)\n"
+               "       avglocal_cli drive ...     (multi-process sharded sweep; --help)\n"
+               "  names resolve through the scenario registries; `list` prints them.\n";
 }
 
-std::optional<Options> parse(int argc, char** argv) {
-  Options options;
+std::optional<RunOptions> parse_run(int argc, char** argv) {
+  RunOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::optional<std::string> {
@@ -97,71 +260,98 @@ std::optional<Options> parse(int argc, char** argv) {
   return options;
 }
 
-graph::Graph make_graph_named(const std::string& family, std::size_t n,
-                              support::Xoshiro256& rng) {
-  if (family == "cycle") return graph::make_cycle(n);
-  if (family == "path") return graph::make_path(n);
-  if (family == "tree") return graph::make_random_tree(n, rng);
-  if (family == "grid") {
-    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-    return graph::make_grid(side, side);
+int run_single_impl(const RunOptions& options) {
+  const graph::FamilySpec family = graph::parse_family_spec(options.graph);
+  const auto& families = graph::FamilyRegistry::global();
+  const algo::AlgorithmInfo& info = algo::AlgorithmRegistry::global().at(options.algo);
+
+  support::Xoshiro256 rng(options.seed);
+  const graph::Graph g = families.build(family, options.n, rng);
+  const std::size_t n = g.vertex_count();
+  const graph::IdAssignment ids = graph::IdAssignment::random(n, rng);
+
+  local::RunResult run;
+  if (info.kind == algo::AlgorithmKind::kView) {
+    local::ViewEngineOptions view_options;
+    view_options.semantics = parse_semantics(options.semantics);
+    run = local::run_views(g, ids, info.view(n), view_options);
+  } else {
+    local::EngineOptions engine_options;
+    engine_options.knowledge = info.knowledge;
+    engine_options.max_rounds = 1'000'000;
+    run = local::run_messages(g, ids, info.messages(n), engine_options);
   }
-  if (family == "torus") {
-    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-    return graph::make_torus(side, side);
+  const std::string validity =
+      info.validate ? (info.validate(g, ids, run.outputs) ? "valid" : "INVALID") : "n/a";
+
+  const core::Measurement m = core::measure(run);
+  std::cout << options.algo << " on " << options.graph << " n=" << n
+            << " seed=" << options.seed << " (" << options.semantics << ")\n"
+            << "  outputs       : " << validity << "\n"
+            << "  max radius    : " << m.max_radius << "\n"
+            << "  avg radius    : " << m.avg_radius << "\n"
+            << "  sum radius    : " << m.sum_radius << "\n"
+            << "  gap max/avg   : " << core::measure_gap(m) << "\n";
+  if (run.messages > 0) {
+    std::cout << "  messages/words: " << run.messages << " / " << run.words << "\n";
   }
-  if (family == "gnp") {
-    return graph::make_gnp_connected(n, 8.0 / static_cast<double>(n), rng);
+
+  if (!options.csv_path.empty()) {
+    std::ofstream file(options.csv_path);
+    if (!file) {
+      std::cerr << "cannot open " << options.csv_path << "\n";
+      return 1;
+    }
+    support::CsvWriter csv(file);
+    csv.write_row({"vertex", "id", "radius", "output"});
+    for (std::size_t v = 0; v < n; ++v) {
+      csv.write_row({std::to_string(v),
+                     std::to_string(ids.id_of(static_cast<graph::Vertex>(v))),
+                     std::to_string(run.radii[v]), std::to_string(run.outputs[v])});
+    }
+    std::cout << "  per-vertex CSV written to " << options.csv_path << "\n";
   }
-  if (family == "complete") return graph::make_complete(n);
-  throw std::invalid_argument("unknown graph family: " + family);
+  return 0;
 }
 
-graph::Graph make_graph(const Options& options, support::Xoshiro256& rng) {
-  return make_graph_named(options.graph, options.n, rng);
-}
-
-// ------------------------------------------------------------------ sweep --
+// ------------------------------------------------------- sweep / drive ----
 
 struct SweepCliOptions {
-  std::string algo = "largest-id";
-  std::string graph = "cycle";
-  std::vector<std::size_t> ns = {256, 1024};
-  std::size_t trials = 100;
-  std::uint64_t seed = 42;
-  std::string semantics = "induced";
+  core::ScenarioSpec spec;
   std::size_t threads = 0;
   std::size_t batch = 0;
-  bool node_profile = false;
   std::optional<std::pair<std::size_t, std::size_t>> shard;  ///< (index, count)
   std::string out_path;   ///< shard artefact destination (sweep --shard)
-  std::string json_path;  ///< full-report destination (sweep / merge)
-};
+  std::string json_path;  ///< full-report destination (sweep / merge / drive)
 
-std::vector<std::size_t> parse_size_list(const std::string& text) {
-  std::vector<std::size_t> values;
-  std::stringstream stream(text);
-  std::string item;
-  while (std::getline(stream, item, ',')) values.push_back(std::stoull(item));
-  if (values.empty()) throw std::invalid_argument("empty size list");
-  return values;
-}
+  // drive only
+  std::size_t shards = 2;
+  std::size_t jobs = 0;     ///< concurrent subprocesses; 0 = min(shards, cores)
+  std::size_t retries = 2;  ///< re-runs of a failed shard before giving up
+  bool keep_artefacts = false;
+  std::string workdir;
+};
 
 void sweep_usage() {
   std::cout
-      << "usage: avglocal_cli sweep [--algo A] [--graph G] [--ns N1,N2,...] [--trials T]\n"
-         "                          [--seed S] [--semantics induced|flooding] [--threads W]\n"
-         "                          [--batch B] [--node-profile] [--json FILE]\n"
-         "                          [--shard I/K --out FILE]\n"
+      << "usage: avglocal_cli sweep [--algo A] [--graph G[:param=v,...]] [--ns N1,N2,...]\n"
+         "                          [--trials T] [--seed S] [--semantics induced|flooding]\n"
+         "                          [--threads W] [--batch B] [--node-profile] [--json FILE]\n"
+         "                          [--target-hw H [--min-trials M] [--adaptive-batch B]\n"
+         "                          [--z Z]] [--shard I/K --out FILE]\n"
          "       avglocal_cli merge [--json FILE] SHARD.json...\n"
-         "  algos : largest-id largest-id-ua cv3 mis   (view based)\n"
-         "  graphs: cycle path tree grid torus gnp complete\n"
-         "  --shard I/K runs trial range I of K and writes a mergeable artefact;\n"
-         "  merge recombines artefacts bit-identically to the monolithic sweep.\n";
+         "       avglocal_cli drive ...sweep flags... --shards K [--jobs J] [--retries R]\n"
+         "                          [--workdir DIR] [--keep-artefacts]\n"
+         "  `list` enumerates the algorithm and graph-family names.\n"
+         "  --trials is the trial count - or, with --target-hw, the adaptive cap: trials\n"
+         "  grow in batches until the avg-mean confidence half-width closes below H.\n"
+         "  --shard I/K runs trial range I of K and writes a mergeable artefact; merge\n"
+         "  and drive recombine artefacts bit-identically to the monolithic sweep.\n";
 }
 
-std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first) {
+std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first, bool drive) {
   SweepCliOptions options;
+  options.spec.schedule.max_trials = 100;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::optional<std::string> {
@@ -171,24 +361,34 @@ std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first) {
     std::optional<std::string> value;
     if (arg == "--help" || arg == "-h") return std::nullopt;
     if (arg == "--algo" && (value = next())) {
-      options.algo = *value;
+      options.spec.algorithm = *value;
     } else if (arg == "--graph" && (value = next())) {
-      options.graph = *value;
+      options.spec.family = graph::parse_family_spec(*value);
     } else if (arg == "--ns" && (value = next())) {
-      options.ns = parse_size_list(*value);
+      options.spec.ns = parse_size_list(*value);
     } else if (arg == "--trials" && (value = next())) {
-      options.trials = std::stoull(*value);
+      options.spec.schedule.max_trials = std::stoull(*value);
     } else if (arg == "--seed" && (value = next())) {
-      options.seed = std::stoull(*value);
+      options.spec.seed = std::stoull(*value);
     } else if (arg == "--semantics" && (value = next())) {
-      options.semantics = *value;
+      options.spec.semantics = parse_semantics(*value);
     } else if (arg == "--threads" && (value = next())) {
       options.threads = std::stoull(*value);
     } else if (arg == "--batch" && (value = next())) {
       options.batch = std::stoull(*value);
     } else if (arg == "--node-profile") {
-      options.node_profile = true;
-    } else if (arg == "--shard" && (value = next())) {
+      options.spec.node_profile = true;
+    } else if (arg == "--target-hw" && (value = next())) {
+      options.spec.schedule.target_half_width = std::stod(*value);
+    } else if (arg == "--min-trials" && (value = next())) {
+      options.spec.schedule.min_trials = std::stoull(*value);
+    } else if (arg == "--adaptive-batch" && (value = next())) {
+      options.spec.schedule.batch = std::stoull(*value);
+    } else if (arg == "--z" && (value = next())) {
+      options.spec.schedule.z = std::stod(*value);
+    } else if (arg == "--json" && (value = next())) {
+      options.json_path = *value;
+    } else if (!drive && arg == "--shard" && (value = next())) {
       const auto slash = value->find('/');
       if (slash == std::string::npos) {
         std::cerr << "--shard expects I/K\n";
@@ -196,10 +396,18 @@ std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first) {
       }
       options.shard = {{std::stoull(value->substr(0, slash)),
                         std::stoull(value->substr(slash + 1))}};
-    } else if (arg == "--out" && (value = next())) {
+    } else if (!drive && arg == "--out" && (value = next())) {
       options.out_path = *value;
-    } else if (arg == "--json" && (value = next())) {
-      options.json_path = *value;
+    } else if (drive && arg == "--shards" && (value = next())) {
+      options.shards = std::stoull(*value);
+    } else if (drive && arg == "--jobs" && (value = next())) {
+      options.jobs = std::stoull(*value);
+    } else if (drive && arg == "--retries" && (value = next())) {
+      options.retries = std::stoull(*value);
+    } else if (drive && arg == "--workdir" && (value = next())) {
+      options.workdir = *value;
+    } else if (drive && arg == "--keep-artefacts") {
+      options.keep_artefacts = true;
     } else {
       std::cerr << "unknown or incomplete argument: " << arg << "\n";
       return std::nullopt;
@@ -208,117 +416,16 @@ std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first) {
   return options;
 }
 
-/// Per-size algorithm provider: cv3 and mis parameterise their schedule on
-/// n, so every sweep point gets its own factory.
-core::AlgorithmProvider sweep_algorithms(const SweepCliOptions& options) {
-  const std::string algo_name = options.algo;
-  return [algo_name](std::size_t n) -> local::ViewAlgorithmFactory {
-    if (algo_name == "largest-id") return algo::make_largest_id_view();
-    if (algo_name == "largest-id-ua") return algo::make_largest_id_universe_aware_view();
-    if (algo_name == "cv3") return algo::make_cole_vishkin_view(n);
-    if (algo_name == "mis") return algo::make_mis_ring_view(n);
-    throw std::invalid_argument("sweep supports view algorithms only, not: " + algo_name);
-  };
-}
-
-core::BatchedSweepOptions sweep_options(const SweepCliOptions& options) {
-  core::BatchedSweepOptions sweep;
-  sweep.trials = options.trials;
-  sweep.seed = options.seed;
-  sweep.semantics = options.semantics == "flooding" ? local::ViewSemantics::kFloodingKnowledge
-                                                    : local::ViewSemantics::kInducedBall;
-  sweep.threads = options.threads;
-  sweep.batch_size = options.batch;
-  sweep.node_profile = options.node_profile;
-  return sweep;
-}
-
-/// Graph factory shared by monolithic runs and every shard: randomised
-/// families derive their stream from (seed, n) only, so all shards of a
-/// plan build identical graphs.
-core::GraphFactory sweep_graphs(const SweepCliOptions& options) {
-  const std::string family = options.graph;
-  const std::uint64_t seed = options.seed;
-  return [family, seed](std::size_t n) {
-    support::Xoshiro256 rng(support::derive_seed(seed ^ 0x67726170685fULL, n));
-    return make_graph_named(family, n, rng);
-  };
-}
-
-void print_points(const std::vector<core::BatchedSweepPoint>& points) {
-  std::cout << "      n   trials   avg_mean     avg_sd   max_mean  max_worst   "
-               "p50  p90  p99   node_mean_max\n";
-  for (const auto& p : points) {
-    std::printf("%7zu  %7zu  %9.4f  %9.4f  %9.2f  %9zu  %4zu %4zu %4zu   %13.4f\n", p.n,
-                p.trials, p.avg_mean, p.avg_sd, p.max_mean, p.max_worst,
-                p.radius.quantiles.size() > 0 ? p.radius.quantiles[0] : 0,
-                p.radius.quantiles.size() > 1 ? p.radius.quantiles[1] : 0,
-                p.radius.quantiles.size() > 2 ? p.radius.quantiles[2] : 0, p.node_mean_max);
-  }
-}
-
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream file(path);
-  if (!file) {
-    std::cerr << "cannot open " << path << "\n";
-    return false;
-  }
-  file << text << "\n";
-  return true;
-}
-
-std::string points_to_json(const SweepCliOptions& options,
-                           const std::vector<core::BatchedSweepPoint>& points) {
-  support::JsonWriter json;
-  json.begin_object();
-  json.key("avglocal_sweep").value(std::uint64_t{1});
-  json.key("algo").value(options.algo);
-  json.key("graph").value(options.graph);
-  json.key("seed").value(options.seed);
-  json.key("trials").value(static_cast<std::uint64_t>(options.trials));
-  json.key("semantics").value(options.semantics);
-  json.key("points").begin_array();
-  for (const auto& p : points) {
-    json.begin_object();
-    json.key("n").value(static_cast<std::uint64_t>(p.n));
-    json.key("avg_mean").value(p.avg_mean);
-    json.key("avg_sd").value(p.avg_sd);
-    json.key("avg_worst").value(p.avg_worst);
-    json.key("max_mean").value(p.max_mean);
-    json.key("max_worst").value(static_cast<std::uint64_t>(p.max_worst));
-    json.key("radius_mean").value(p.radius.mean);
-    json.key("radius_max").value(static_cast<std::uint64_t>(p.radius.max));
-    json.key("quantile_probs").begin_array();
-    for (double q : p.radius.probs) json.value(q);
-    json.end_array();
-    json.key("quantiles").begin_array();
-    for (std::size_t r : p.radius.quantiles) json.value(static_cast<std::uint64_t>(r));
-    json.end_array();
-    json.key("node_mean_min").value(p.node_mean_min);
-    json.key("node_mean_max").value(p.node_mean_max);
-    if (!p.node_mean.empty()) {
-      json.key("node_mean").begin_array();
-      for (double m : p.node_mean) json.value(m);
-      json.end_array();
-    }
-    json.end_object();
-  }
-  json.end_array();
-  json.end_object();
-  return json.str();
-}
-
 int run_sweep_command_impl(int argc, char** argv) {
-  const auto parsed = parse_sweep(argc, argv, 2);
+  const auto parsed = parse_sweep(argc, argv, 2, /*drive=*/false);
   if (!parsed) {
     sweep_usage();
     return 2;
   }
   const SweepCliOptions& options = *parsed;
-  const core::AlgorithmProvider algorithms = sweep_algorithms(options);
-  algorithms(options.ns.front());  // reject unknown algorithms before any work
-  const auto graphs = sweep_graphs(options);
-  const core::BatchedSweepOptions sweep = sweep_options(options);
+  // Validate the whole workload - family, parameters, algorithm, schedule -
+  // before any sweep work starts or any artefact file is opened.
+  const core::ResolvedScenario resolved = core::resolve_scenario(options.spec);
 
   if (options.shard) {
     const auto [index, count] = *options.shard;
@@ -326,31 +433,84 @@ int run_sweep_command_impl(int argc, char** argv) {
       std::cerr << "--shard needs --out FILE for the artefact\n";
       return 2;
     }
-    const auto plan = core::plan_shards(options.ns.size(), options.trials, count);
+    if (resolved.spec.schedule.adaptive()) {
+      std::cerr << "adaptive schedules cannot be sharded: the trial count is decided by the\n"
+                << "monolithic driver; drop --target-hw or run `sweep`/`drive` without --shard\n";
+      return 2;
+    }
+    core::BatchedSweepOptions sweep = resolved.sweep_options();
+    sweep.threads = options.threads;
+    sweep.batch_size = options.batch;
+    const auto plan =
+        core::plan_shards(resolved.spec.ns.size(), sweep.trials, count);
     if (index >= plan.size()) {
       std::cerr << "shard " << index << " is empty: only " << plan.size()
                 << " non-empty shards in this plan\n";
       return 2;
     }
     core::ShardDocument doc;
-    doc.meta = core::SweepPlanMeta::from_options(options.ns, sweep);
-    doc.meta.algorithm = options.algo;
-    doc.meta.graph = options.graph;
+    doc.meta = core::SweepPlanMeta::from_options(resolved.spec.ns, sweep);
+    doc.meta.algorithm = resolved.spec.algorithm;
+    doc.meta.graph = graph::family_spec_to_string(resolved.spec.family);
+    doc.meta.scenario = core::scenario_to_json(resolved.spec);
     doc.shard = plan[index];
-    doc.points = core::run_sweep_shard(options.ns, graphs, algorithms, sweep, doc.shard);
+    doc.points =
+        core::run_sweep_shard(resolved.spec.ns, resolved.graphs, resolved.algorithms, sweep,
+                              doc.shard);
     if (!write_text_file(options.out_path, core::shard_to_json(doc))) return 1;
     std::cout << "shard " << index << "/" << count << " (trials [" << doc.shard.trial_begin
               << ", " << doc.shard.trial_end << ")) written to " << options.out_path << "\n";
     return 0;
   }
 
-  const auto points = core::run_batched_sweep(options.ns, graphs, algorithms, sweep);
-  print_points(points);
+  core::ScenarioExecution execution;
+  execution.threads = options.threads;
+  execution.batch_size = options.batch;
+  const core::ScenarioResult result = core::run_scenario(resolved.spec, execution);
+  print_points(result.points, result.spec.schedule.adaptive());
   if (!options.json_path.empty()) {
-    if (!write_text_file(options.json_path, points_to_json(options, points))) return 1;
+    if (!write_text_file(options.json_path, sweep_report_json(result.spec, result.points))) {
+      return 1;
+    }
     std::cout << "sweep report written to " << options.json_path << "\n";
   }
   return 0;
+}
+
+// --------------------------------------------------------------- merge ----
+
+/// Rebuilds the report spec from a shard artefact: the embedded scenario
+/// block when present, else a best-effort spec from the plan header (for
+/// artefacts produced below the scenario layer).
+core::ScenarioSpec spec_from_meta(const core::SweepPlanMeta& meta) {
+  if (!meta.scenario.empty()) return core::scenario_from_json(meta.scenario);
+  core::ScenarioSpec spec;
+  spec.family = meta.graph.empty() ? graph::FamilySpec{"unknown", {}}
+                                   : graph::parse_family_spec(meta.graph);
+  spec.algorithm = meta.algorithm;
+  spec.ns = meta.ns;
+  spec.semantics = meta.semantics;
+  spec.seed = meta.seed;
+  spec.schedule.max_trials = meta.trials;
+  spec.quantile_probs = meta.quantile_probs;
+  spec.node_profile = meta.node_profile;
+  return spec;
+}
+
+std::vector<core::ScenarioPoint> wrap_merged_points(const core::ScenarioSpec& spec,
+                                                    std::vector<core::BatchedSweepPoint> merged) {
+  std::vector<core::ScenarioPoint> points;
+  points.reserve(merged.size());
+  for (auto& p : merged) {
+    core::ScenarioPoint sp;
+    // The shared TrialSchedule::half_width keeps this reconstruction
+    // bit-identical to the monolithic run's reported value.
+    sp.half_width = spec.schedule.half_width(p.avg_sd, p.trials);
+    sp.converged = true;  // sharded plans are fixed-trial by construction
+    sp.point = std::move(p);
+    points.push_back(std::move(sp));
+  }
+  return points;
 }
 
 int run_merge_command_impl(int argc, char** argv) {
@@ -381,33 +541,225 @@ int run_merge_command_impl(int argc, char** argv) {
   std::vector<core::ShardDocument> docs;
   docs.reserve(artefacts.size());
   for (const std::string& path : artefacts) {
-    std::ifstream file(path);
-    if (!file) {
-      std::cerr << "cannot read " << path << "\n";
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    docs.push_back(core::parse_shard_json(buffer.str()));
+    docs.push_back(core::parse_shard_json(read_text_file(path)));
   }
   const core::SweepPlanMeta meta = docs.front().meta;
-  const auto points = core::merge_shards(std::move(docs));
+  const core::ScenarioSpec spec = spec_from_meta(meta);
+  const auto points = wrap_merged_points(spec, core::merge_shards(std::move(docs)));
   std::cout << "merged " << artefacts.size() << " shard(s): " << meta.algorithm << " on "
             << meta.graph << ", seed " << meta.seed << ", " << meta.trials << " trials\n";
-  print_points(points);
+  print_points(points, /*adaptive=*/false);
   if (!json_path.empty()) {
-    SweepCliOptions report;
-    report.seed = meta.seed;
-    report.trials = meta.trials;
-    report.semantics =
-        meta.semantics == local::ViewSemantics::kFloodingKnowledge ? "flooding" : "induced";
-    report.algo = meta.algorithm;
-    report.graph = meta.graph;
-    if (!write_text_file(json_path, points_to_json(report, points))) return 1;
+    if (!write_text_file(json_path, sweep_report_json(spec, points))) return 1;
     std::cout << "merged report written to " << json_path << "\n";
   }
   return 0;
 }
+
+// --------------------------------------------------------------- drive ----
+
+std::string self_executable(const char* argv0) {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+pid_t spawn_process(const std::string& exe, const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execve(exe.c_str(), argv.data(), environ);
+    std::perror("execve");
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+int run_drive_command_impl(int argc, char** argv) {
+  const auto parsed = parse_sweep(argc, argv, 2, /*drive=*/true);
+  if (!parsed) {
+    sweep_usage();
+    return 2;
+  }
+  const SweepCliOptions& options = *parsed;
+  const core::ResolvedScenario resolved = core::resolve_scenario(options.spec);
+  if (resolved.spec.schedule.adaptive()) {
+    std::cerr << "drive runs fixed plans; drop --target-hw (adaptive sweeps are monolithic)\n";
+    return 2;
+  }
+  if (options.shards < 1) {
+    std::cerr << "--shards must be at least 1\n";
+    return 2;
+  }
+
+  const std::size_t trials = resolved.spec.schedule.max_trials;
+  const auto plan = core::plan_shards(resolved.spec.ns.size(), trials, options.shards);
+
+  const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::min(options.jobs == 0 ? cores : options.jobs, plan.size()));
+  // Subprocesses share the machine: split the cores across concurrent jobs
+  // unless the user pinned a per-shard thread count explicitly.
+  const std::size_t child_threads =
+      options.threads != 0 ? options.threads : std::max<std::size_t>(1, cores / jobs);
+
+  bool created_workdir = false;
+  std::string workdir = options.workdir;
+  if (workdir.empty()) {
+    std::string tmpl = "avglocal-drive-XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      std::cerr << "cannot create work directory: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    workdir = tmpl;
+    created_workdir = true;
+  } else if (::mkdir(workdir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::cerr << "cannot create work directory " << workdir << ": " << std::strerror(errno)
+              << "\n";
+    return 1;
+  }
+
+  const std::string exe = self_executable(argv[0]);
+  struct ShardJob {
+    std::size_t index = 0;
+    std::string artefact;
+    std::size_t attempts = 0;
+  };
+  std::vector<ShardJob> shard_jobs(plan.size());
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    shard_jobs[i].index = i;
+    shard_jobs[i].artefact = workdir + "/shard-" + std::to_string(i) + ".json";
+    pending.push_back(i);
+  }
+
+  const auto shard_args = [&](const ShardJob& job) {
+    std::vector<std::string> args = {
+        exe,
+        "sweep",
+        "--algo",
+        resolved.spec.algorithm,
+        "--graph",
+        graph::family_spec_to_string(resolved.spec.family),
+        "--ns",
+        join_sizes(resolved.spec.ns),
+        "--trials",
+        std::to_string(trials),
+        "--seed",
+        std::to_string(resolved.spec.seed),
+        "--semantics",
+        local::to_string(resolved.spec.semantics),
+        "--threads",
+        std::to_string(child_threads),
+        "--shard",
+        std::to_string(job.index) + "/" + std::to_string(options.shards),
+        "--out",
+        job.artefact,
+    };
+    if (resolved.spec.node_profile) args.push_back("--node-profile");
+    if (options.batch != 0) {
+      args.push_back("--batch");
+      args.push_back(std::to_string(options.batch));
+    }
+    return args;
+  };
+
+  std::map<pid_t, std::size_t> running;
+  bool failed = false;
+  while ((!pending.empty() || !running.empty()) && !failed) {
+    while (!pending.empty() && running.size() < jobs) {
+      const std::size_t index = pending.front();
+      pending.pop_front();
+      ShardJob& job = shard_jobs[index];
+      ++job.attempts;
+      const pid_t pid = spawn_process(exe, shard_args(job));
+      if (pid < 0) {
+        std::cerr << "cannot fork shard " << index << ": " << std::strerror(errno) << "\n";
+        failed = true;
+        break;
+      }
+      running.emplace(pid, index);
+    }
+    if (failed || running.empty()) break;
+
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      std::cerr << "waitpid failed: " << std::strerror(errno) << "\n";
+      failed = true;
+      break;
+    }
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;
+    const std::size_t index = it->second;
+    running.erase(it);
+    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (ok) {
+      std::cout << "shard " << index << "/" << options.shards << " done ("
+                << shard_jobs[index].attempts << " attempt"
+                << (shard_jobs[index].attempts == 1 ? "" : "s") << ")\n";
+      continue;
+    }
+    if (shard_jobs[index].attempts <= options.retries) {
+      std::cerr << "shard " << index << " failed (attempt " << shard_jobs[index].attempts
+                << "); retrying\n";
+      pending.push_back(index);
+    } else {
+      std::cerr << "shard " << index << " failed after " << shard_jobs[index].attempts
+                << " attempts; giving up\n";
+      failed = true;
+    }
+  }
+  // Drain any children still running after a failure so nothing is left
+  // writing into the work directory.
+  for (const auto& [pid, index] : running) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (failed) {
+    // Keep whatever the shards produced for post-mortem, but say where -
+    // a silently accumulating mkdtemp directory per failed run would be
+    // worse than the disk it costs.
+    std::cerr << "partial shard artefacts left in " << workdir << " for inspection\n";
+    return 1;
+  }
+
+  std::vector<core::ShardDocument> docs;
+  docs.reserve(shard_jobs.size());
+  for (const ShardJob& job : shard_jobs) {
+    docs.push_back(core::parse_shard_json(read_text_file(job.artefact)));
+  }
+  const auto points = wrap_merged_points(resolved.spec, core::merge_shards(std::move(docs)));
+  std::cout << "drive merged " << shard_jobs.size() << " shard(s): " << resolved.spec.algorithm
+            << " on " << graph::family_spec_to_string(resolved.spec.family) << ", seed "
+            << resolved.spec.seed << ", " << trials << " trials\n";
+  print_points(points, /*adaptive=*/false);
+
+  int exit_code = 0;
+  if (!options.json_path.empty()) {
+    if (!write_text_file(options.json_path, sweep_report_json(resolved.spec, points))) {
+      exit_code = 1;
+    } else {
+      std::cout << "sweep report written to " << options.json_path << "\n";
+    }
+  }
+  if (!options.keep_artefacts) {
+    for (const ShardJob& job : shard_jobs) ::unlink(job.artefact.c_str());
+    if (created_workdir) ::rmdir(workdir.c_str());
+  } else {
+    std::cout << "shard artefacts kept in " << workdir << "\n";
+  }
+  return exit_code;
+}
+
+// ---------------------------------------------------------------- main ----
 
 /// Sweep plans assemble many moving parts (size lists, graph families,
 /// shard artefacts), so configuration errors surface as exceptions from
@@ -421,89 +773,32 @@ int run_guarded(int (*command)(int, char**), int argc, char** argv) {
   }
 }
 
-int run_sweep_command(int argc, char** argv) {
-  return run_guarded(run_sweep_command_impl, argc, argv);
-}
-
-int run_merge_command(int argc, char** argv) {
-  return run_guarded(run_merge_command_impl, argc, argv);
+int run_single_guarded(int argc, char** argv) {
+  const auto parsed = parse_run(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  try {
+    return run_single_impl(*parsed);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) return run_sweep_command(argc, argv);
-  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) return run_merge_command(argc, argv);
-
-  const auto parsed = parse(argc, argv);
-  if (!parsed) {
-    usage();
-    return 2;
+  if (argc > 1 && std::strcmp(argv[1], "list") == 0) return run_list_command();
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return run_guarded(run_sweep_command_impl, argc, argv);
   }
-  const Options& options = *parsed;
-
-  support::Xoshiro256 rng(options.seed);
-  const graph::Graph g = make_graph(options, rng);
-  const std::size_t n = g.vertex_count();
-  const graph::IdAssignment ids = graph::IdAssignment::random(n, rng);
-
-  local::ViewEngineOptions view_options;
-  view_options.semantics = options.semantics == "flooding"
-                               ? local::ViewSemantics::kFloodingKnowledge
-                               : local::ViewSemantics::kInducedBall;
-
-  local::RunResult run;
-  std::string validity = "n/a";
-  if (options.algo == "largest-id") {
-    run = local::run_views(g, ids, algo::make_largest_id_view(), view_options);
-    validity = algo::is_valid_largest_id(ids, run.outputs) ? "valid" : "INVALID";
-  } else if (options.algo == "largest-id-ua") {
-    run = local::run_views(g, ids, algo::make_largest_id_universe_aware_view(),
-                           view_options);
-    validity = algo::is_valid_largest_id(ids, run.outputs) ? "valid" : "INVALID";
-  } else if (options.algo == "cv3") {
-    run = local::run_views(g, ids, algo::make_cole_vishkin_view(n), view_options);
-    validity = algo::is_valid_colouring(g, run.outputs, 3) ? "valid" : "INVALID";
-  } else if (options.algo == "mis") {
-    run = local::run_views(g, ids, algo::make_mis_ring_view(n), view_options);
-    validity = algo::is_maximal_independent_set(g, run.outputs) ? "valid" : "INVALID";
-  } else if (options.algo == "local3") {
-    local::EngineOptions engine_options;
-    engine_options.max_rounds = 1'000'000;
-    run = local::run_messages(g, ids, algo::make_local_three_colouring(), engine_options);
-    validity = algo::is_valid_colouring(g, run.outputs, 3) ? "valid" : "INVALID";
-  } else {
-    std::cerr << "unknown algorithm: " << options.algo << "\n";
-    usage();
-    return 2;
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return run_guarded(run_merge_command_impl, argc, argv);
   }
-
-  const core::Measurement m = core::measure(run);
-  std::cout << options.algo << " on " << options.graph << " n=" << n
-            << " seed=" << options.seed << " (" << options.semantics << ")\n"
-            << "  outputs       : " << validity << "\n"
-            << "  max radius    : " << m.max_radius << "\n"
-            << "  avg radius    : " << m.avg_radius << "\n"
-            << "  sum radius    : " << m.sum_radius << "\n"
-            << "  gap max/avg   : " << core::measure_gap(m) << "\n";
-  if (run.messages > 0) {
-    std::cout << "  messages/words: " << run.messages << " / " << run.words << "\n";
+  if (argc > 1 && std::strcmp(argv[1], "drive") == 0) {
+    return run_guarded(run_drive_command_impl, argc, argv);
   }
-
-  if (!options.csv_path.empty()) {
-    std::ofstream file(options.csv_path);
-    if (!file) {
-      std::cerr << "cannot open " << options.csv_path << "\n";
-      return 1;
-    }
-    support::CsvWriter csv(file);
-    csv.write_row({"vertex", "id", "radius", "output"});
-    for (std::size_t v = 0; v < n; ++v) {
-      csv.write_row({std::to_string(v),
-                     std::to_string(ids.id_of(static_cast<graph::Vertex>(v))),
-                     std::to_string(run.radii[v]), std::to_string(run.outputs[v])});
-    }
-    std::cout << "  per-vertex CSV written to " << options.csv_path << "\n";
-  }
-  return 0;
+  return run_single_guarded(argc, argv);
 }

@@ -1,0 +1,243 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "algo/registry.hpp"
+#include "support/assert.hpp"
+#include "support/json_writer.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace avglocal::core {
+
+namespace {
+
+/// Seed-space tag separating graph construction from id-assignment streams
+/// (ASCII "graph_"); shared with the pre-registry CLI so artefacts stay
+/// comparable across versions.
+constexpr std::uint64_t kGraphSeedTag = 0x67726170685fULL;
+
+local::ViewSemantics semantics_from_name(const std::string& name) {
+  const auto semantics = local::view_semantics_from_name(name);
+  if (!semantics) throw std::runtime_error("scenario: unknown view semantics '" + name + "'");
+  return *semantics;
+}
+
+void validate_schedule(const TrialSchedule& schedule) {
+  AVGLOCAL_EXPECTS_MSG(schedule.max_trials >= 1, "schedule needs at least one trial");
+  if (schedule.adaptive()) {
+    // The variance floor must bind the cap too: with max_trials == 1 the
+    // first (and only) round would see a single sample, whose sd of 0
+    // reports instant "convergence" from a zero-width interval.
+    AVGLOCAL_EXPECTS_MSG(schedule.max_trials >= 2,
+                         "adaptive schedules need a cap of >= 2 trials");
+    AVGLOCAL_EXPECTS_MSG(schedule.min_trials >= 2,
+                         "adaptive schedules need >= 2 trials for a variance estimate");
+    AVGLOCAL_EXPECTS_MSG(schedule.batch >= 1, "adaptive schedules need a positive batch");
+    AVGLOCAL_EXPECTS_MSG(schedule.z > 0.0, "confidence quantile z must be positive");
+  }
+}
+
+/// Sample sd of the per-trial average radius, exactly as finalize_point
+/// computes avg_sd (same Welford accumulation in global trial order), so
+/// convergence decisions and the reported point agree to the last bit.
+double partial_avg_sd(const PointAccumulator& acc) {
+  support::RunningStats stats;
+  for (std::size_t t = 0; t < acc.trial_count(); ++t) {
+    stats.add(static_cast<double>(acc.trial_sum[t]) / static_cast<double>(acc.n));
+  }
+  return stats.stddev();
+}
+
+}  // namespace
+
+double TrialSchedule::half_width(double sd, std::size_t trials) const noexcept {
+  return z * sd / std::sqrt(static_cast<double>(trials));
+}
+
+BatchedSweepOptions ResolvedScenario::sweep_options() const {
+  return sweep_options(spec.schedule.max_trials);
+}
+
+BatchedSweepOptions ResolvedScenario::sweep_options(std::size_t trials) const {
+  BatchedSweepOptions options;
+  options.trials = trials;
+  options.seed = spec.seed;
+  options.semantics = spec.semantics;
+  options.quantile_probs = spec.quantile_probs;
+  options.node_profile = spec.node_profile;
+  return options;
+}
+
+ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
+  const graph::FamilyRegistry& families = graph::FamilyRegistry::global();
+  const graph::GraphFamily& family = families.at(spec.family.family);
+  const std::vector<double> params =
+      graph::FamilyRegistry::resolve_params(family, spec.family.params);
+
+  const algo::AlgorithmRegistry& algorithms = algo::AlgorithmRegistry::global();
+  const algo::AlgorithmInfo& algorithm = algorithms.at(spec.algorithm);
+  if (algorithm.kind != algo::AlgorithmKind::kView) {
+    throw std::invalid_argument("algorithm '" + spec.algorithm +
+                                "' runs on the message engine; scenarios sweep view algorithms");
+  }
+
+  AVGLOCAL_EXPECTS_MSG(!spec.ns.empty(), "scenario needs at least one size");
+  validate_schedule(spec.schedule);
+
+  ResolvedScenario resolved;
+  resolved.spec = spec;
+
+  // Canonical parameter list: every declared parameter, declaration order,
+  // defaults filled in.
+  resolved.spec.family.params.clear();
+  for (std::size_t i = 0; i < family.params.size(); ++i) {
+    resolved.spec.family.params.emplace_back(family.params[i].name, params[i]);
+  }
+
+  // Snap requested sizes to realisable ones; drop duplicates (two requests
+  // can snap to the same square), keeping first-occurrence order.
+  resolved.spec.ns.clear();
+  for (const std::size_t requested : spec.ns) {
+    const std::size_t realised =
+        family.realised_size(std::max(requested, family.min_size), params);
+    if (std::find(resolved.spec.ns.begin(), resolved.spec.ns.end(), realised) ==
+        resolved.spec.ns.end()) {
+      resolved.spec.ns.push_back(realised);
+    }
+  }
+
+  // Randomised families derive their stream from (seed, n) only, so every
+  // shard and every adaptive round of a plan builds identical graphs.
+  const graph::FamilySpec family_spec = resolved.spec.family;
+  const std::uint64_t seed = spec.seed;
+  resolved.graphs = [family_spec, seed](std::size_t n) {
+    support::Xoshiro256 rng(support::derive_seed(seed ^ kGraphSeedTag, n));
+    return graph::FamilyRegistry::global().build(family_spec, n, rng);
+  };
+
+  const std::string algorithm_name = spec.algorithm;
+  resolved.algorithms = [algorithm_name](std::size_t n) {
+    return algo::AlgorithmRegistry::global().at(algorithm_name).view(n);
+  };
+  return resolved;
+}
+
+std::string scenario_to_json(const ScenarioSpec& spec) {
+  support::JsonWriter json;
+  write_scenario_json(json, spec);
+  return json.str();
+}
+
+void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec) {
+  json.begin_object();
+  json.key("family").value(spec.family.family);
+  json.key("family_params").begin_object();
+  for (const auto& [name, value] : spec.family.params) json.key(name).value(value);
+  json.end_object();
+  json.key("algorithm").value(spec.algorithm);
+  json.key("ns").begin_array();
+  for (const std::size_t n : spec.ns) json.value(static_cast<std::uint64_t>(n));
+  json.end_array();
+  json.key("semantics").value(local::to_string(spec.semantics));
+  json.key("seed").value(spec.seed);
+  json.key("schedule").begin_object();
+  json.key("max_trials").value(static_cast<std::uint64_t>(spec.schedule.max_trials));
+  json.key("min_trials").value(static_cast<std::uint64_t>(spec.schedule.min_trials));
+  json.key("batch").value(static_cast<std::uint64_t>(spec.schedule.batch));
+  json.key("target_half_width").value(spec.schedule.target_half_width);
+  json.key("z").value(spec.schedule.z);
+  json.end_object();
+  json.key("quantile_probs").begin_array();
+  for (const double q : spec.quantile_probs) json.value(q);
+  json.end_array();
+  json.key("node_profile").value(spec.node_profile);
+  json.end_object();
+}
+
+ScenarioSpec scenario_from_json(const support::JsonValue& value) {
+  ScenarioSpec spec;
+  spec.family.family = value.at("family").as_string();
+  spec.family.params.clear();
+  for (const auto& [name, param] : value.at("family_params").members()) {
+    spec.family.params.emplace_back(name, param.as_double());
+  }
+  spec.algorithm = value.at("algorithm").as_string();
+  spec.ns.clear();
+  const support::JsonValue& ns = value.at("ns");
+  for (std::size_t i = 0; i < ns.size(); ++i) spec.ns.push_back(ns[i].as_u64());
+  spec.semantics = semantics_from_name(value.at("semantics").as_string());
+  spec.seed = value.at("seed").as_u64();
+  const support::JsonValue& schedule = value.at("schedule");
+  spec.schedule.max_trials = schedule.at("max_trials").as_u64();
+  spec.schedule.min_trials = schedule.at("min_trials").as_u64();
+  spec.schedule.batch = schedule.at("batch").as_u64();
+  spec.schedule.target_half_width = schedule.at("target_half_width").as_double();
+  spec.schedule.z = schedule.at("z").as_double();
+  spec.quantile_probs.clear();
+  const support::JsonValue& probs = value.at("quantile_probs");
+  for (std::size_t i = 0; i < probs.size(); ++i) spec.quantile_probs.push_back(probs[i].as_double());
+  spec.node_profile = value.at("node_profile").as_bool();
+  return spec;
+}
+
+ScenarioSpec scenario_from_json(std::string_view text) {
+  return scenario_from_json(support::parse_json(text));
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& execution) {
+  const ResolvedScenario resolved = resolve_scenario(spec);
+  const TrialSchedule& schedule = resolved.spec.schedule;
+
+  std::unique_ptr<support::ThreadPool> owned_pool;
+  support::ThreadPool* pool = execution.pool;
+  if (pool == nullptr) {
+    const std::size_t workers =
+        execution.threads != 0 ? execution.threads
+                               : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    owned_pool = std::make_unique<support::ThreadPool>(workers);
+    pool = owned_pool.get();
+  }
+
+  ScenarioResult result;
+  result.spec = resolved.spec;
+  result.points.reserve(resolved.spec.ns.size());
+
+  BatchedSweepOptions base = resolved.sweep_options();
+  base.batch_size = execution.batch_size;
+  for (std::size_t index = 0; index < resolved.spec.ns.size(); ++index) {
+    const std::size_t n = resolved.spec.ns[index];
+    const graph::Graph g = resolved.graphs(n);
+    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
+    const local::ViewAlgorithmFactory factory = resolved.algorithms(n);
+
+    const std::size_t first =
+        schedule.adaptive() ? std::min(schedule.min_trials, schedule.max_trials)
+                            : schedule.max_trials;
+    PointAccumulator acc = accumulate_point(g, index, factory, base, 0, first, pool);
+
+    ScenarioPoint point;
+    point.converged = !schedule.adaptive();
+    while (schedule.adaptive()) {
+      const std::size_t trials = acc.trial_count();
+      if (schedule.half_width(partial_avg_sd(acc), trials) <= schedule.target_half_width) {
+        point.converged = true;
+        break;
+      }
+      if (trials >= schedule.max_trials) break;
+      const std::size_t next = std::min(trials + schedule.batch, schedule.max_trials);
+      acc.append(accumulate_point(g, index, factory, base, trials, next, pool));
+    }
+
+    point.point = finalize_point(acc, resolved.sweep_options(acc.trial_count()));
+    point.half_width = schedule.half_width(point.point.avg_sd, acc.trial_count());
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace avglocal::core

@@ -1,0 +1,140 @@
+// The declarative workload layer: one ScenarioSpec names everything a sweep
+// needs - graph family (registry key + parameters), view algorithm
+// (registry key), semantics, sizes, seed, measure options and a trial
+// schedule - and every tool (avglocal_cli run/sweep/drive, experiments,
+// benches) consumes the same resolved plumbing instead of re-wiring its own
+// factory dispatch.
+//
+// Resolution is strict and happens before any sweep work: unknown families,
+// algorithms or parameters throw std::invalid_argument listing the known
+// keys, and requested sizes are snapped to the sizes the family can realise
+// exactly (a torus needs a square), so the engine-level contract
+// `vertex_count() == n` holds by construction.
+//
+// The trial schedule is either fixed (run exactly max_trials) or adaptive:
+// batches run through the exact-integer accumulators of
+// core/batched_sweep.hpp until the half-width of the normal-approximation
+// confidence interval around avg_mean closes below a target (or the cap
+// hits). Because every trial's stream derives from (seed, point, trial),
+// an adaptive run that stops after T trials is bit-identical to a fixed
+// T-trial sweep - adaptivity changes how many trials run, never what any
+// trial computes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batched_sweep.hpp"
+#include "graph/family_registry.hpp"
+#include "support/json_reader.hpp"
+#include "support/json_writer.hpp"
+
+namespace avglocal::core {
+
+/// How many random id-assignments a sweep point runs.
+struct TrialSchedule {
+  /// Hard cap; with target_half_width == 0 this is the exact trial count.
+  std::size_t max_trials = 100;
+  /// Adaptive mode: trials run before the first convergence check (>= 2,
+  /// one sample has no variance estimate).
+  std::size_t min_trials = 16;
+  /// Adaptive mode: trials added per round after the first check.
+  std::size_t batch = 16;
+  /// Target half-width of the confidence interval around avg_mean
+  /// (z * sd / sqrt(trials)); 0 disables adaptation.
+  double target_half_width = 0.0;
+  /// Normal quantile of the interval (1.96 ~ 95%).
+  double z = 1.96;
+
+  bool adaptive() const noexcept { return target_half_width > 0.0; }
+
+  /// Half-width of the avg-mean confidence interval after `trials` trials.
+  /// The single definition behind convergence decisions, reported points
+  /// and reconstructed merge/drive reports - reports recombined from shard
+  /// artefacts must be byte-identical to the monolithic run's, so every
+  /// consumer must evaluate the exact same expression.
+  double half_width(double sd, std::size_t trials) const noexcept;
+
+  friend bool operator==(const TrialSchedule&, const TrialSchedule&) = default;
+};
+
+/// A declarative sweep workload. String keys resolve against
+/// graph::FamilyRegistry and algo::AlgorithmRegistry (view algorithms
+/// only - message algorithms have no batched sweep path).
+struct ScenarioSpec {
+  graph::FamilySpec family{"cycle", {}};
+  std::string algorithm = "largest-id";
+  std::vector<std::size_t> ns = {256};
+  local::ViewSemantics semantics = local::ViewSemantics::kInducedBall;
+  std::uint64_t seed = 42;
+  TrialSchedule schedule;
+  std::vector<double> quantile_probs = {0.5, 0.9, 0.99};
+  bool node_profile = false;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// A validated, runnable scenario. `spec` is the canonical form: family
+/// parameters resolved to the full declaration-order list (defaults
+/// included) and sizes snapped to realised sizes (deduplicated, order
+/// kept), so two specs that describe the same workload resolve to equal -
+/// and identically serialised - canonical specs.
+struct ResolvedScenario {
+  ScenarioSpec spec;
+  GraphFactory graphs;
+  AlgorithmProvider algorithms;
+
+  /// Sweep options for a fixed run of `trials` trials (defaults to the
+  /// schedule cap; shards and adaptive rounds override the count).
+  BatchedSweepOptions sweep_options() const;
+  BatchedSweepOptions sweep_options(std::size_t trials) const;
+};
+
+/// Validates every registry key and parameter and builds the factories.
+/// Throws std::invalid_argument before any graph or engine work happens.
+ResolvedScenario resolve_scenario(const ScenarioSpec& spec);
+
+/// Canonical JSON block of a spec (single line, fixed key order). Embedded
+/// in sweep reports and shard artefacts so merges reject mismatched
+/// workloads by construction; resolve first for a canonical spec.
+std::string scenario_to_json(const ScenarioSpec& spec);
+
+/// Emits the same block as one object value of a larger document.
+void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec);
+
+ScenarioSpec scenario_from_json(const support::JsonValue& value);
+ScenarioSpec scenario_from_json(std::string_view text);
+
+/// One sweep point of a scenario run, plus how the schedule ended there.
+struct ScenarioPoint {
+  BatchedSweepPoint point;
+  /// Half-width of the avg_mean confidence interval at the final count.
+  double half_width = 0.0;
+  /// Adaptive runs: target reached before the cap. Fixed runs: true.
+  bool converged = true;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;  ///< canonical spec the run used
+  std::vector<ScenarioPoint> points;
+};
+
+/// Execution knobs that never change results (pinned by the batched-sweep
+/// tests): worker pool sizing and engine batch width. Deliberately outside
+/// ScenarioSpec - two runs of one scenario on different machines are the
+/// same workload.
+struct ScenarioExecution {
+  /// Worker threads when `pool` is null; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// BatchedSweepOptions::batch_size (memory bound; 0 = whole trial range).
+  std::size_t batch_size = 0;
+  /// Optional externally owned pool, reused across runs.
+  support::ThreadPool* pool = nullptr;
+};
+
+/// Runs the scenario monolithically, applying the trial schedule per point.
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& execution = {});
+
+}  // namespace avglocal::core

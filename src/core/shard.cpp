@@ -12,16 +12,15 @@ namespace avglocal::core {
 
 namespace {
 
-constexpr std::uint64_t kShardFormatVersion = 1;
-
-const char* semantics_name(local::ViewSemantics semantics) {
-  return semantics == local::ViewSemantics::kInducedBall ? "induced" : "flooding";
-}
+/// Version 2: the meta block gained the required self-describing `scenario`
+/// field. Version-1 artefacts (no such field) are rejected cleanly by the
+/// version check rather than by a confusing missing-key error.
+constexpr std::uint64_t kShardFormatVersion = 2;
 
 local::ViewSemantics semantics_from_name(const std::string& name) {
-  if (name == "induced") return local::ViewSemantics::kInducedBall;
-  if (name == "flooding") return local::ViewSemantics::kFloodingKnowledge;
-  throw std::runtime_error("shard: unknown view semantics '" + name + "'");
+  const auto semantics = local::view_semantics_from_name(name);
+  if (!semantics) throw std::runtime_error("shard: unknown view semantics '" + name + "'");
+  return *semantics;
 }
 
 void write_u64_array(support::JsonWriter& json, const std::vector<std::uint64_t>& values) {
@@ -125,7 +124,7 @@ std::string shard_to_json(const ShardDocument& doc) {
   json.key("avglocal_shard").value(kShardFormatVersion);
   json.key("seed").value(doc.meta.seed);
   json.key("trials").value(static_cast<std::uint64_t>(doc.meta.trials));
-  json.key("semantics").value(semantics_name(doc.meta.semantics));
+  json.key("semantics").value(local::to_string(doc.meta.semantics));
   json.key("ns").begin_array();
   for (std::size_t n : doc.meta.ns) json.value(static_cast<std::uint64_t>(n));
   json.end_array();
@@ -135,6 +134,7 @@ std::string shard_to_json(const ShardDocument& doc) {
   json.key("node_profile").value(doc.meta.node_profile);
   json.key("algorithm").value(doc.meta.algorithm);
   json.key("graph").value(doc.meta.graph);
+  json.key("scenario").value(doc.meta.scenario);
   json.key("shard").begin_object();
   json.key("point_begin").value(static_cast<std::uint64_t>(doc.shard.point_begin));
   json.key("point_end").value(static_cast<std::uint64_t>(doc.shard.point_end));
@@ -167,7 +167,7 @@ ShardDocument parse_shard_json(std::string_view text) {
   const support::JsonValue root = support::parse_json(text);
   const support::JsonValue* version = root.find("avglocal_shard");
   if (version == nullptr || version->as_u64() != kShardFormatVersion) {
-    throw std::runtime_error("shard: not an avglocal shard artefact (version 1)");
+    throw std::runtime_error("shard: not an avglocal shard artefact (version 2)");
   }
 
   ShardDocument doc;
@@ -183,6 +183,7 @@ ShardDocument parse_shard_json(std::string_view text) {
   doc.meta.node_profile = root.at("node_profile").as_bool();
   doc.meta.algorithm = root.at("algorithm").as_string();
   doc.meta.graph = root.at("graph").as_string();
+  doc.meta.scenario = root.at("scenario").as_string();
 
   const support::JsonValue& shard = root.at("shard");
   doc.shard.point_begin = shard.at("point_begin").as_u64();

@@ -59,6 +59,13 @@ struct SweepPlanMeta {
   /// workloads may leave them empty.
   std::string algorithm;
   std::string graph;
+  /// Canonical scenario block (core::scenario_to_json of the resolved
+  /// spec). Self-describing workload identity: merges compare it like
+  /// every other meta field, so artefacts from different scenarios -
+  /// including ones that agree on the numeric plan and the labels above
+  /// but differ in family parameters - reject by construction. Empty for
+  /// callers below the scenario layer.
+  std::string scenario;
 
   static SweepPlanMeta from_options(const std::vector<std::size_t>& ns,
                                     const BatchedSweepOptions& options);

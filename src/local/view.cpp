@@ -6,6 +6,16 @@
 
 namespace avglocal::local {
 
+const char* to_string(ViewSemantics semantics) noexcept {
+  return semantics == ViewSemantics::kInducedBall ? "induced" : "flooding";
+}
+
+std::optional<ViewSemantics> view_semantics_from_name(std::string_view name) noexcept {
+  if (name == "induced") return ViewSemantics::kInducedBall;
+  if (name == "flooding") return ViewSemantics::kFloodingKnowledge;
+  return std::nullopt;
+}
+
 bool BallView::contains_id_greater_than(std::uint64_t x) const noexcept {
   return std::any_of(ids.begin(), ids.end(), [x](std::uint64_t id) { return id > x; });
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,6 +30,14 @@ enum class ViewSemantics {
   kInducedBall,
   kFloodingKnowledge,
 };
+
+/// Canonical names ("induced" / "flooding") shared by CLI flags, scenario
+/// JSON and shard artefacts - one mapping so the layers can never disagree.
+const char* to_string(ViewSemantics semantics) noexcept;
+
+/// Reverse mapping; nullopt for unknown names (each caller owns its error
+/// type: artefact parsers throw runtime_error, flag parsers invalid_argument).
+std::optional<ViewSemantics> view_semantics_from_name(std::string_view name) noexcept;
 
 /// Local index of a ball vertex; 0 is always the root.
 using LocalVertex = std::uint32_t;

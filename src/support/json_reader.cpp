@@ -81,6 +81,11 @@ const JsonValue& JsonValue::at(std::string_view key) const {
   return *value;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (type_ != Type::kObject) fail("expected an object");
+  return members_;
+}
+
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}

@@ -38,6 +38,9 @@ class JsonValue {
   const JsonValue* find(std::string_view key) const;
   const JsonValue& at(std::string_view key) const;
 
+  /// Object members in document order (throws unless an object).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
  private:
   friend JsonValue parse_json(std::string_view);
   friend class JsonParser;

@@ -6,6 +6,8 @@
 // the flat-memory/parallel core a pure optimisation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -100,6 +102,60 @@ TEST(EngineParity, PoolIsReusableAcrossRuns) {
     const auto serial = local::run_views(g, ids, algo::make_largest_id_view());
     const auto parallel = local::run_views(g, ids, algo::make_largest_id_view(), pooled);
     expect_same_run(serial, parallel, "run " + std::to_string(run));
+  }
+}
+
+// The registry opened torus, random-regular and random-tree sweeps to every
+// tool, so their port conventions must hold under all three execution
+// paths, not just the per-trial one the benches used to exercise: the
+// batched engine replays recorded ball geometry (a wrong port table would
+// corrupt replayed views), and the message engine reconstructs views from
+// gossip (a wrong mirror port would misroute payloads).
+TEST(EngineParity, BatchedPerTrialAndMessagesAgreeOnGeneratorFamilies) {
+  support::Xoshiro256 rng(29);
+  struct Named {
+    const char* name;
+    graph::Graph g;
+  };
+  const Named topologies[] = {
+      {"torus", graph::make_torus(5, 6)},
+      {"random_regular", graph::make_random_regular(26, 3, rng)},
+      {"random_tree", graph::make_random_tree(31, rng)},
+  };
+  for (const auto& [name, g] : topologies) {
+    const std::size_t n = g.vertex_count();
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      support::Xoshiro256 id_rng(support::derive_seed(seed, 99));
+      const graph::IdAssignment ids = graph::IdAssignment::random(n, id_rng);
+      const std::string label = std::string(name) + " seed=" + std::to_string(seed);
+
+      for (const auto semantics : {local::ViewSemantics::kInducedBall,
+                                   local::ViewSemantics::kFloodingKnowledge}) {
+        local::ViewEngineOptions options;
+        options.semantics = semantics;
+        const auto per_trial = local::run_views(g, ids, algo::make_largest_id_view(), options);
+
+        local::RunResult batched;
+        batched.outputs.resize(n);
+        batched.radii.resize(n);
+        local::run_views_batched(
+            g, std::span(&ids, 1), algo::make_largest_id_view(), options,
+            [&](std::size_t, std::size_t, graph::Vertex v, std::int64_t output,
+                std::size_t radius) {
+              batched.outputs[v] = output;
+              batched.radii[v] = radius;
+            });
+        expect_same_run(per_trial, batched, label + " batched");
+      }
+
+      // The message engine's gossip delivers flooding-knowledge views.
+      local::ViewEngineOptions flooding;
+      flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+      const auto serial = local::run_views(g, ids, algo::make_largest_id_view(), flooding);
+      const auto messages =
+          local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+      expect_same_run(serial, messages, label + " messages");
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -238,6 +239,44 @@ TEST(JsonWriter, DoublesRoundTrip) {
   JsonWriter json;
   json.begin_array().value(0.1).value(1e300).end_array();
   EXPECT_EQ(json.str(), "[0.1,1e+300]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerialiseAsNull) {
+  // JSON has no nan/inf tokens, so emitting them verbatim would produce an
+  // unparseable document. Real artefacts reach this path: RunningStats
+  // min()/max() on an empty accumulator return NaN.
+  JsonWriter json;
+  json.begin_array()
+      .value(1.5)
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(-std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(json.str(), "[1.5,null,null,null]");
+
+  // Round-trip through json_reader: the document parses and the non-finite
+  // slots come back as JSON null.
+  const auto doc = support::parse_json(json.str());
+  ASSERT_EQ(doc.size(), 4u);
+  EXPECT_DOUBLE_EQ(doc[0].as_double(), 1.5);
+  EXPECT_TRUE(doc[1].is_null());
+  EXPECT_TRUE(doc[2].is_null());
+  EXPECT_TRUE(doc[3].is_null());
+
+  JsonWriter from_stats;
+  from_stats.begin_object().key("min").value(support::RunningStats().min()).end_object();
+  EXPECT_EQ(from_stats.str(), "{\"min\":null}");
+  EXPECT_TRUE(support::parse_json(from_stats.str()).at("min").is_null());
+}
+
+TEST(JsonReader, ObjectMembersIterateInDocumentOrder) {
+  const auto doc = support::parse_json("{\"b\":1,\"a\":2}");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(members[0].second.as_u64(), 1u);
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_THROW(support::parse_json("[1]").members(), std::runtime_error);
 }
 
 TEST(Stats, EmptyExtremaAreNaN) {
