@@ -7,7 +7,11 @@
 //    today's serial path, and today's pooled path - plus the speedup
 //    ratios future PRs must defend;
 //  * message-engine throughput (rounds/sec) and per-round heap traffic
-//    after warm-up, via the allocation-counting hook (expected: zero).
+//    after warm-up, via the allocation-counting hook (expected: zero);
+//  * message-sweep throughput on the batch path (one engine rebound per
+//    assignment, vs a fresh engine per trial) with the same per-round
+//    zero-allocation gate, plus run_message_sweep trials/sec on the
+//    largest-id-msg scenario workload.
 //
 // Usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]
 #include <algorithm>
@@ -23,6 +27,7 @@
 
 #include "algo/largest_id.hpp"
 #include "core/batched_sweep.hpp"
+#include "core/message_sweep.hpp"
 #include "core/scenario.hpp"
 #include "graph/generators.hpp"
 #include "graph/ids.hpp"
@@ -360,6 +365,97 @@ EngineThroughput bench_message_engine(std::size_t n, std::size_t rounds) {
   return out;
 }
 
+// ------------------------------------------------------------------------
+// Message-sweep benchmark: the run_message_sweep path (one engine per
+// point, rebound per assignment) vs a fresh engine per trial, plus the
+// per-round allocation gate on the batch path.
+// ------------------------------------------------------------------------
+
+struct MessageSweepThroughput {
+  double sweep_rounds_per_sec = 0;      ///< batch path (run_messages_batch)
+  double per_trial_rounds_per_sec = 0;  ///< fresh engine per run_messages call
+  double batch_reuse_speedup = 0;
+  double sweep_trials_per_sec = 0;      ///< run_message_sweep, largest-id-msg
+  std::uint64_t allocs_per_round_after_warmup = 0;
+  std::uint64_t bytes_per_round_after_warmup = 0;
+};
+
+MessageSweepThroughput bench_message_sweep(std::size_t n, std::size_t rounds,
+                                           std::size_t trials) {
+  const auto g = graph::make_cycle(n);
+  const auto factory = [rounds] { return std::make_unique<FloodRelay>(rounds); };
+
+  std::vector<graph::IdAssignment> batch;
+  batch.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    support::Xoshiro256 rng(support::derive_seed(99, t));
+    batch.emplace_back(graph::IdAssignment::random(n, rng));
+  }
+
+  MessageSweepThroughput out;
+  {
+    const auto start = Clock::now();
+    std::uint64_t radius_sum = 0;
+    local::run_messages_batch(g, batch, factory, {},
+                              [&](std::size_t, graph::Vertex, std::int64_t,
+                                  std::size_t radius) { radius_sum += radius; });
+    out.sweep_rounds_per_sec =
+        static_cast<double>(trials * rounds) / seconds_since(start);
+    if (radius_sum == 0) std::abort();
+  }
+  {
+    const auto start = Clock::now();
+    for (const auto& ids : batch) {
+      const auto run = local::run_messages(g, ids, factory);
+      if (run.rounds != rounds) std::abort();
+    }
+    out.per_trial_rounds_per_sec =
+        static_cast<double>(trials * rounds) / seconds_since(start);
+  }
+  out.batch_reuse_speedup = out.sweep_rounds_per_sec / out.per_trial_rounds_per_sec;
+  {
+    // The zero-allocation claim on the sweep path. Trial boundaries may
+    // allocate (per-run result buffers, non-resettable algorithms); the
+    // claim is about the round loop, so deltas are inspected within each
+    // trial's sample group, past the global warm-up.
+    AllocSampler sampler(trials * (rounds + 1));
+    local::EngineOptions options;
+    options.trace = &sampler;
+    local::run_messages_batch(g, batch, factory, options,
+                              [](std::size_t, graph::Vertex, std::int64_t, std::size_t) {});
+    const auto& samples = sampler.samples();
+    const std::size_t per_trial = rounds + 1;  // rounds 0..rounds
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const std::size_t begin = trial * per_trial + (trial == 0 ? 3 : 1);
+      const std::size_t end = (trial + 1) * per_trial;
+      for (std::size_t i = begin; i + 1 < end && i + 1 < samples.size(); ++i) {
+        out.allocs_per_round_after_warmup = std::max(
+            out.allocs_per_round_after_warmup, samples[i + 1].allocations - samples[i].allocations);
+        out.bytes_per_round_after_warmup =
+            std::max(out.bytes_per_round_after_warmup, samples[i + 1].bytes - samples[i].bytes);
+      }
+    }
+  }
+  {
+    // The full sweep stack on a real message workload: accumulators, edge
+    // measures and histograms included. Token flooding moves O(n^2) words
+    // per run, so this leg uses a smaller ring than the relay benches.
+    const std::size_t sweep_n = std::min<std::size_t>(n, 512);
+    core::BatchedSweepOptions options;
+    options.trials = std::max<std::size_t>(2, trials / 2);
+    options.seed = 7;
+    const auto start = Clock::now();
+    const auto points = core::run_message_sweep(
+        {sweep_n}, [](std::size_t m) { return graph::make_cycle(m); },
+        [](std::size_t) { return algo::make_largest_id_messages(); },
+        core::MessageEngineOptions{}, options);
+    out.sweep_trials_per_sec =
+        static_cast<double>(options.trials) / seconds_since(start);
+    if (points.empty() || points[0].radius.samples == 0) std::abort();
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -396,6 +492,8 @@ int main(int argc, char** argv) {
   const DispatchOverhead dispatch =
       bench_scenario_dispatch(n, trials, /*seed=*/42, /*repetitions=*/smoke ? 1 : 3);
   const EngineThroughput engine = bench_message_engine(engine_n, engine_rounds);
+  const MessageSweepThroughput message_sweep =
+      bench_message_sweep(engine_n, engine_rounds, /*trials=*/smoke ? 4 : 16);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -433,6 +531,17 @@ int main(int argc, char** argv) {
   json.key("allocs_per_round_after_warmup").value(engine.allocs_per_round_after_warmup);
   json.key("bytes_per_round_after_warmup").value(engine.bytes_per_round_after_warmup);
   json.end_object();
+  json.key("message_sweep").begin_object();
+  json.key("topology").value("ring");
+  json.key("n").value(static_cast<std::uint64_t>(engine_n));
+  json.key("rounds").value(static_cast<std::uint64_t>(engine_rounds));
+  json.key("message_sweep_rounds_per_sec").value(message_sweep.sweep_rounds_per_sec);
+  json.key("per_trial_rounds_per_sec").value(message_sweep.per_trial_rounds_per_sec);
+  json.key("batch_reuse_speedup").value(message_sweep.batch_reuse_speedup);
+  json.key("message_sweep_trials_per_sec").value(message_sweep.sweep_trials_per_sec);
+  json.key("allocs_per_round_after_warmup").value(message_sweep.allocs_per_round_after_warmup);
+  json.key("bytes_per_round_after_warmup").value(message_sweep.bytes_per_round_after_warmup);
+  json.end_object();
   json.end_object();
 
   std::ofstream file(out_path);
@@ -443,6 +552,20 @@ int main(int argc, char** argv) {
   if (engine.allocs_per_round_after_warmup != 0) {
     std::cerr << "bench_regression: message engine allocated after warm-up\n";
     return 3;
+  }
+  if (message_sweep.allocs_per_round_after_warmup != 0) {
+    std::cerr << "bench_regression: message sweep path allocated per round after warm-up\n";
+    return 6;
+  }
+  // The sweep path's reason to exist: rebinding one engine must not be
+  // materially slower than rebuilding it per trial. Construction is small
+  // next to 256 rounds of work, so the true ratio sits near or above 1
+  // (measured 0.99-1.17 on the n=2048 ring relay depending on machine
+  // load); 0.8 catches a real regression without tripping on CI noise.
+  if (!smoke && message_sweep.batch_reuse_speedup < 0.8) {
+    std::cerr << "bench_regression: message sweep batch-reuse speedup "
+              << message_sweep.batch_reuse_speedup << " < 0.8\n";
+    return 7;
   }
   // Smoke runs are too short (and CI machines too noisy) to hard-gate a
   // ratio; the full run defends the batched engine's reason to exist.

@@ -17,6 +17,8 @@
 //                      --trials 200 --seed 42 --json sweep.json
 //   avglocal_cli sweep --algo cv3 --graph cycle --ns 4096 --trials 5000
 //                      --target-hw 0.05 --min-trials 32 --adaptive-batch 64
+//   avglocal_cli sweep --algo largest-id-msg --graph cycle --ns 1024 --trials 100
+//                      (message algorithms sweep too; the registry picks the engine)
 //
 // Sharded sweeps (run shard i of k anywhere, then merge the artefacts;
 // the merge is bit-identical to the monolithic sweep):
@@ -110,14 +112,15 @@ std::string read_text_file(const std::string& path) {
 
 void print_points(const std::vector<core::ScenarioPoint>& points, bool adaptive) {
   std::cout << "      n   trials   avg_mean     avg_sd      ci_hw   max_mean  max_worst   "
-               "p50  p90  p99   node_mean_max\n";
+               "p50  p90  p99   node_mean_max  edge_avg_mean\n";
   for (const auto& sp : points) {
     const auto& p = sp.point;
-    std::printf("%7zu  %7zu  %9.4f  %9.4f  %9.4f  %9.2f  %9zu  %4zu %4zu %4zu   %13.4f\n",
+    std::printf("%7zu  %7zu  %9.4f  %9.4f  %9.4f  %9.2f  %9zu  %4zu %4zu %4zu   %13.4f  %13.4f\n",
                 p.n, p.trials, p.avg_mean, p.avg_sd, sp.half_width, p.max_mean, p.max_worst,
                 p.radius.quantiles.size() > 0 ? p.radius.quantiles[0] : 0,
                 p.radius.quantiles.size() > 1 ? p.radius.quantiles[1] : 0,
-                p.radius.quantiles.size() > 2 ? p.radius.quantiles[2] : 0, p.node_mean_max);
+                p.radius.quantiles.size() > 2 ? p.radius.quantiles[2] : 0, p.node_mean_max,
+                p.edge_avg_mean);
   }
   if (adaptive) {
     for (const auto& sp : points) {
@@ -135,7 +138,7 @@ std::string sweep_report_json(const core::ScenarioSpec& spec,
                               const std::vector<core::ScenarioPoint>& points) {
   support::JsonWriter json;
   json.begin_object();
-  json.key("avglocal_sweep").value(std::uint64_t{2});
+  json.key("avglocal_sweep").value(std::uint64_t{3});
   json.key("scenario");
   core::write_scenario_json(json, spec);
   json.key("points").begin_array();
@@ -166,6 +169,14 @@ std::string sweep_report_json(const core::ScenarioSpec& spec,
       for (double m : p.node_mean) json.value(m);
       json.end_array();
     }
+    json.key("edges").value(static_cast<std::uint64_t>(p.edges));
+    json.key("edge_avg_mean").value(p.edge_avg_mean);
+    json.key("edge_avg_sd").value(p.edge_avg_sd);
+    json.key("edge_time_mean").value(p.edge_time.mean);
+    json.key("edge_time_max").value(static_cast<std::uint64_t>(p.edge_time.max));
+    json.key("edge_quantiles").begin_array();
+    for (std::size_t r : p.edge_time.quantiles) json.value(static_cast<std::uint64_t>(r));
+    json.end_array();
     json.end_object();
   }
   json.end_array();
@@ -200,7 +211,7 @@ int run_list_command() {
                     ? (", skips radii < " + std::to_string(caps.min_radius) + " at n=256").c_str()
                     : "");
   }
-  std::cout << "\nmessage algorithms (--algo; single runs only):\n";
+  std::cout << "\nmessage algorithms (--algo; single runs and message-engine sweeps):\n";
   for (const std::string& name : algorithms.names(algo::AlgorithmKind::kMessage)) {
     const algo::AlgorithmInfo& info = algorithms.at(name);
     std::printf("  %-16s %s (%s)\n", info.name.c_str(), info.description.c_str(),
@@ -285,13 +296,15 @@ int run_single_impl(const RunOptions& options) {
       info.validate ? (info.validate(g, ids, run.outputs) ? "valid" : "INVALID") : "n/a";
 
   const core::Measurement m = core::measure(run);
+  const core::EdgeMeasurement em = core::measure_edges(g, run.radii);
   std::cout << options.algo << " on " << options.graph << " n=" << n
             << " seed=" << options.seed << " (" << options.semantics << ")\n"
             << "  outputs       : " << validity << "\n"
             << "  max radius    : " << m.max_radius << "\n"
             << "  avg radius    : " << m.avg_radius << "\n"
             << "  sum radius    : " << m.sum_radius << "\n"
-            << "  gap max/avg   : " << core::measure_gap(m) << "\n";
+            << "  gap max/avg   : " << core::measure_gap(m) << "\n"
+            << "  edge avg time : " << em.avg_time << " over " << em.edges << " edges\n";
   if (run.messages > 0) {
     std::cout << "  messages/words: " << run.messages << " / " << run.words << "\n";
   }
@@ -342,7 +355,9 @@ void sweep_usage() {
          "       avglocal_cli merge [--json FILE] SHARD.json...\n"
          "       avglocal_cli drive ...sweep flags... --shards K [--jobs J] [--retries R]\n"
          "                          [--workdir DIR] [--keep-artefacts]\n"
-         "  `list` enumerates the algorithm and graph-family names.\n"
+         "  `list` enumerates the algorithm and graph-family names. View and message\n"
+         "  algorithms both sweep; the registry picks the engine (message sweeps ignore\n"
+         "  --semantics and --threads: the engine is serial, shard across processes).\n"
          "  --trials is the trial count - or, with --target-hw, the adaptive cap: trials\n"
          "  grow in batches until the avg-mean confidence half-width closes below H.\n"
          "  --shard I/K runs trial range I of K and writes a mergeable artefact; merge\n"
@@ -453,10 +468,9 @@ int run_sweep_command_impl(int argc, char** argv) {
     doc.meta.algorithm = resolved.spec.algorithm;
     doc.meta.graph = graph::family_spec_to_string(resolved.spec.family);
     doc.meta.scenario = core::scenario_to_json(resolved.spec);
+    doc.meta.engine = resolved.spec.engine;
     doc.shard = plan[index];
-    doc.points =
-        core::run_sweep_shard(resolved.spec.ns, resolved.graphs, resolved.algorithms, sweep,
-                              doc.shard);
+    doc.points = core::run_scenario_shard(resolved, sweep, doc.shard);
     if (!write_text_file(options.out_path, core::shard_to_json(doc))) return 1;
     std::cout << "shard " << index << "/" << count << " (trials [" << doc.shard.trial_begin
               << ", " << doc.shard.trial_end << ")) written to " << options.out_path << "\n";
@@ -483,11 +497,19 @@ int run_sweep_command_impl(int argc, char** argv) {
 /// block when present, else a best-effort spec from the plan header (for
 /// artefacts produced below the scenario layer).
 core::ScenarioSpec spec_from_meta(const core::SweepPlanMeta& meta) {
-  if (!meta.scenario.empty()) return core::scenario_from_json(meta.scenario);
+  if (!meta.scenario.empty()) {
+    core::ScenarioSpec spec = core::scenario_from_json(meta.scenario);
+    // Version-2 scenario blocks predate the engine field; the meta default
+    // ("view" - v2 artefacts had no other engine) keeps the re-emitted
+    // report's scenario block self-describing.
+    if (spec.engine.empty()) spec.engine = meta.engine;
+    return spec;
+  }
   core::ScenarioSpec spec;
   spec.family = meta.graph.empty() ? graph::FamilySpec{"unknown", {}}
                                    : graph::parse_family_spec(meta.graph);
   spec.algorithm = meta.algorithm;
+  spec.engine = meta.engine;
   spec.ns = meta.ns;
   spec.semantics = meta.semantics;
   spec.seed = meta.seed;

@@ -63,6 +63,14 @@ class ColeVishkinMessages final : public local::Algorithm {
     }
   }
 
+  /// on_start recomputes the schedule and colour from the context.
+  bool reset() noexcept override {
+    colour_ = 0;
+    t6_ = 0;
+    total_rounds_ = 0;
+    return true;
+  }
+
  private:
   void broadcast_colour(local::NodeContext& ctx) {
     local::Encoder e;

@@ -57,6 +57,13 @@ class GreedyColouringMessages final : public local::Algorithm {
     broadcast_state(ctx);
   }
 
+  /// on_start re-assigns the per-port arrays; only the scalars persist.
+  bool reset() noexcept override {
+    colour_.reset();
+    ids_known_ = false;
+    return true;
+  }
+
  private:
   void broadcast_state(local::NodeContext& ctx) {
     local::Encoder e;

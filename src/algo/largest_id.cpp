@@ -103,6 +103,13 @@ class LargestIdMessages final : public local::Algorithm {
     decide(ctx);
   }
 
+  bool reset() noexcept override {
+    best_ = 0;
+    n_.reset();
+    seen_.clear();
+    return true;
+  }
+
  private:
   void ingest(local::NodeContext& ctx, std::uint64_t origin, std::uint64_t hops,
               std::size_t side) {

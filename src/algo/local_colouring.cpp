@@ -96,6 +96,16 @@ class LocalThreeColouring final : public local::Algorithm {
     ctx.broadcast(encode(current_state(ctx)));
   }
 
+  bool reset() noexcept override {
+    colour_ = 0;
+    frozen_ = false;
+    candidate_ = false;
+    sixfinal_ = false;
+    self_snapshot_ = NodeState{};
+    snap_nbr_ = {};
+    return true;
+  }
+
  private:
   void apply_moves(local::NodeContext& ctx, const NodeState& succ, const NodeState& pred) {
     const NodeState& snap_succ = *snap_nbr_[0];

@@ -12,7 +12,7 @@
 namespace avglocal::core {
 
 void PointAccumulator::append(PointAccumulator&& other) {
-  AVGLOCAL_REQUIRE_MSG(other.point_index == point_index && other.n == n,
+  AVGLOCAL_REQUIRE_MSG(other.point_index == point_index && other.n == n && other.edges == edges,
                        "shard partials describe different sweep points");
   AVGLOCAL_REQUIRE_MSG(other.trial_begin == trial_end(),
                        "shard trial ranges must be contiguous and in order");
@@ -21,24 +21,58 @@ void PointAccumulator::append(PointAccumulator&& other) {
   trial_max.insert(trial_max.end(), other.trial_max.begin(), other.trial_max.end());
   histogram.merge(other.histogram);
   for (std::size_t v = 0; v < node_sum.size(); ++v) node_sum[v] += other.node_sum[v];
+  trial_edge_sum.insert(trial_edge_sum.end(), other.trial_edge_sum.begin(),
+                        other.trial_edge_sum.end());
+  edge_histogram.merge(other.edge_histogram);
+}
+
+PointAccumulator make_point_accumulator(const graph::Graph& g, std::size_t point_index,
+                                        std::size_t trial_begin, std::size_t trial_end) {
+  AVGLOCAL_EXPECTS(trial_begin < trial_end);
+  AVGLOCAL_EXPECTS(g.vertex_count() > 0);
+  PointAccumulator acc;
+  acc.point_index = point_index;
+  acc.n = g.vertex_count();
+  acc.edges = g.edge_count();
+  acc.trial_begin = trial_begin;
+  const std::size_t total = trial_end - trial_begin;
+  acc.trial_sum.assign(total, 0);
+  acc.trial_max.assign(total, 0);
+  acc.node_sum.assign(acc.n, 0);
+  acc.trial_edge_sum.assign(total, 0);
+  return acc;
+}
+
+void fill_sweep_batch(std::vector<graph::IdAssignment>& batch, std::size_t n,
+                      std::uint64_t point_seed, std::size_t global_begin, std::size_t count) {
+  batch.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    support::Xoshiro256 rng(support::derive_seed(point_seed, global_begin + i));
+    batch.push_back(graph::IdAssignment::random(n, rng));
+  }
+}
+
+void accumulate_edge_partials(std::span<const std::pair<graph::Vertex, graph::Vertex>> edge_list,
+                              std::span<const std::uint32_t> radius_matrix,
+                              std::size_t batch_begin, std::size_t batch_size,
+                              PointAccumulator& acc, std::vector<std::uint64_t>& edge_counts) {
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const std::uint32_t* row = radius_matrix.data() + i * acc.n;
+    acc.trial_edge_sum[batch_begin + i] =
+        for_each_edge_time(edge_list, row, [&edge_counts](std::size_t t) {
+          if (t >= edge_counts.size()) edge_counts.resize(t + 1, 0);
+          ++edge_counts[t];
+        });
+  }
 }
 
 PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index,
                                   const local::ViewAlgorithmFactory& algorithm,
                                   const BatchedSweepOptions& options, std::size_t trial_begin,
                                   std::size_t trial_end, support::ThreadPool* pool) {
-  AVGLOCAL_EXPECTS(trial_begin < trial_end);
+  PointAccumulator acc = make_point_accumulator(g, point_index, trial_begin, trial_end);
   const std::size_t n = g.vertex_count();
-  AVGLOCAL_EXPECTS(n > 0);
-
-  PointAccumulator acc;
-  acc.point_index = point_index;
-  acc.n = n;
-  acc.trial_begin = trial_begin;
   const std::size_t total = trial_end - trial_begin;
-  acc.trial_sum.assign(total, 0);
-  acc.trial_max.assign(total, 0);
-  acc.node_sum.assign(n, 0);
 
   const std::uint64_t point_seed = support::derive_seed(options.seed, point_index);
   const std::size_t batch_cap =
@@ -58,16 +92,21 @@ PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index
   engine.semantics = options.semantics;
   engine.pool = pool;
 
+  // Edge times need both endpoints of every edge, so the per-batch radii
+  // are kept in a dense (trial x vertex) matrix (uint32: radii are bounded
+  // by n, and the builder caps graphs at 2^32 arcs) and swept over the
+  // canonical edge list once per batch. The flat `edge_counts` array stands
+  // in for the histogram during accumulation - one increment per sample -
+  // and converts exactly at the end.
+  const auto edge_list = canonical_edges(g);
+  std::vector<std::uint32_t> radius_matrix(batch_cap * n);
+  std::vector<std::uint64_t> edge_counts;
+
   std::vector<graph::IdAssignment> batch;
   batch.reserve(batch_cap);
   for (std::size_t batch_begin = 0; batch_begin < total; batch_begin += batch_cap) {
     const std::size_t batch_size = std::min(batch_cap, total - batch_begin);
-    batch.clear();
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      support::Xoshiro256 rng(
-          support::derive_seed(point_seed, trial_begin + batch_begin + i));
-      batch.push_back(graph::IdAssignment::random(n, rng));
-    }
+    fill_sweep_batch(batch, n, point_seed, trial_begin + batch_begin, batch_size);
     for (WorkerPartial& w : partials) {
       w.trial_sum.assign(batch_size, 0);
       w.trial_max.assign(batch_size, 0);
@@ -83,8 +122,10 @@ PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index
           w.trial_sum[trial] += r;
           w.trial_max[trial] = std::max(w.trial_max[trial], r);
           w.histogram.add(radius);
-          // Workers own disjoint vertex ranges, so this shared row is safe.
+          // Workers own disjoint vertex ranges, so these shared rows are
+          // safe: each (trial, v) cell has exactly one writer.
           acc.node_sum[v] += r;
+          radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
         });
 
     for (const WorkerPartial& w : partials) {
@@ -94,7 +135,10 @@ PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index
       }
       acc.histogram.merge(w.histogram);
     }
+
+    accumulate_edge_partials(edge_list, radius_matrix, batch_begin, batch_size, acc, edge_counts);
   }
+  acc.edge_histogram = local::RadiusHistogram(std::move(edge_counts));
   return acc;
 }
 
@@ -121,6 +165,19 @@ BatchedSweepPoint finalize_point(const PointAccumulator& acc, const BatchedSweep
   point.max_mean = max_stats.mean();
 
   point.radius = summarize_radius_histogram(acc.histogram, options.quantile_probs);
+
+  point.edges = acc.edges;
+  if (acc.edges > 0) {
+    AVGLOCAL_EXPECTS(acc.trial_edge_sum.size() == acc.trial_count());
+    support::RunningStats edge_stats;
+    for (std::size_t t = 0; t < acc.trial_count(); ++t) {
+      edge_stats.add(static_cast<double>(acc.trial_edge_sum[t]) /
+                     static_cast<double>(acc.edges));
+    }
+    point.edge_avg_mean = edge_stats.mean();
+    point.edge_avg_sd = edge_stats.stddev();
+  }
+  point.edge_time = summarize_radius_histogram(acc.edge_histogram, options.quantile_probs);
 
   const auto trials = static_cast<double>(options.trials);
   const auto [min_it, max_it] = std::minmax_element(acc.node_sum.begin(), acc.node_sum.end());

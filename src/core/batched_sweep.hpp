@@ -22,6 +22,7 @@
 #include "core/measure.hpp"
 #include "core/runner.hpp"
 #include "graph/graph.hpp"
+#include "graph/ids.hpp"
 #include "local/metrics.hpp"
 #include "local/view_engine.hpp"
 #include "support/thread_pool.hpp"
@@ -42,9 +43,10 @@ struct BatchedSweepOptions {
   /// Optional externally owned worker pool, reused across sweeps.
   support::ThreadPool* pool = nullptr;
   /// Identifier assignments resident at once; 0 = the whole trial range.
-  /// Smaller batches bound memory (~ batch_size * n * 8 bytes per point) at
-  /// the cost of regrowing ball geometry once per batch. Results do not
-  /// depend on the batch size.
+  /// Smaller batches bound memory (~ batch_size * n * 12 bytes per point:
+  /// the id buffers plus the radius matrix the edge measures read) at the
+  /// cost of regrowing ball geometry once per batch. Results do not depend
+  /// on the batch size.
   std::size_t batch_size = 0;
   /// Probabilities of the radius quantiles reported per point.
   std::vector<double> quantile_probs = {0.5, 0.9, 0.99};
@@ -59,11 +61,18 @@ struct BatchedSweepOptions {
 struct PointAccumulator {
   std::size_t point_index = 0;
   std::size_t n = 0;
+  std::size_t edges = 0;                 ///< edge count m of the point's graph
   std::size_t trial_begin = 0;           ///< global index of trial_sum[0]
   std::vector<std::uint64_t> trial_sum;  ///< per trial: sum_v r(v)
   std::vector<std::uint64_t> trial_max;  ///< per trial: max_v r(v)
   local::RadiusHistogram histogram;      ///< over all (vertex, trial) samples
   std::vector<std::uint64_t> node_sum;   ///< per vertex: sum over trials of r(v)
+  /// Edge-averaged family (arXiv:2208.08213): per trial, sum over canonical
+  /// edges of the edge time max(r(u), r(v)); the histogram counts every
+  /// (edge, trial) sample. Both stay exact integers, so they merge exactly
+  /// like the node measures.
+  std::vector<std::uint64_t> trial_edge_sum;
+  local::RadiusHistogram edge_histogram;
 
   std::size_t trial_count() const noexcept { return trial_sum.size(); }
   std::size_t trial_end() const noexcept { return trial_begin + trial_sum.size(); }
@@ -99,8 +108,43 @@ struct BatchedSweepPoint {
   /// Per-vertex mean radii (only when options.node_profile).
   std::vector<double> node_mean;
 
+  /// Edge-averaged measures (arXiv:2208.08213). edge_avg_mean/sd aggregate
+  /// the per-trial edge averages (sum_e t(e) / m) exactly as avg_mean/sd
+  /// aggregate the per-trial node averages; edge_time is the t(e)
+  /// distribution over all (edge, assignment) samples, with the same
+  /// quantile probabilities as `radius`. All zero on edgeless graphs.
+  std::size_t edges = 0;
+  double edge_avg_mean = 0.0;
+  double edge_avg_sd = 0.0;
+  RadiusDistribution edge_time;
+
   friend bool operator==(const BatchedSweepPoint&, const BatchedSweepPoint&) = default;
 };
+
+/// An accumulator with every field sized (and zeroed) for trials
+/// [trial_begin, trial_end) of point (point_index, g). Shared by both
+/// engines' accumulate functions so the two can never disagree on shape.
+PointAccumulator make_point_accumulator(const graph::Graph& g, std::size_t point_index,
+                                        std::size_t trial_begin, std::size_t trial_end);
+
+/// Regenerates the sweep's id assignments for global trials
+/// [global_begin, global_begin + count) of the point whose stream root is
+/// `point_seed` (= derive_seed(options.seed, point_index)) into `batch`
+/// (cleared first). THE definition of a sweep's id streams: both engines'
+/// accumulate functions call this, which is what makes a message sweep and
+/// a view sweep of one scenario run identical permutations trial by trial.
+void fill_sweep_batch(std::vector<graph::IdAssignment>& batch, std::size_t n,
+                      std::uint64_t point_seed, std::size_t global_begin, std::size_t count);
+
+/// Folds one batch's dense radius matrix (`batch_size` rows of n radii,
+/// row t = global trial batch_begin + t) into the accumulator's per-trial
+/// edge sums and the flat per-time sample counts (grown on demand;
+/// local::RadiusHistogram(std::move(counts)) converts exactly once per
+/// point). The third piece both engines' accumulate functions share.
+void accumulate_edge_partials(std::span<const std::pair<graph::Vertex, graph::Vertex>> edge_list,
+                              std::span<const std::uint32_t> radius_matrix,
+                              std::size_t batch_begin, std::size_t batch_size,
+                              PointAccumulator& acc, std::vector<std::uint64_t>& edge_counts);
 
 /// Runs trials [trial_begin, trial_end) of point `point_index` on `g` and
 /// returns exact partials. Building block of run_batched_sweep and of

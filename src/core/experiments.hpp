@@ -40,6 +40,7 @@ ExperimentResult experiment_general_graphs(const ExperimentScale& scale);       
 ExperimentResult experiment_expected_complexity(const ExperimentScale& scale);   // E11
 ExperimentResult experiment_greedy_colouring(const ExperimentScale& scale);      // E12
 ExperimentResult experiment_topology_matrix(const ExperimentScale& scale);       // E13
+ExperimentResult experiment_message_vs_view(const ExperimentScale& scale);       // E14
 
 /// All experiments in order (E9, engine cross-validation, lives in
 /// bench_simulator and the integration tests).

@@ -1,0 +1,59 @@
+// Batched random sweeps over the message engine: the counterpart of
+// core/batched_sweep.hpp for the paper's first formulation of the LOCAL
+// model.
+//
+// run_message_sweep runs batches of id-assignments through ONE arena-backed
+// engine per point (local::run_messages_batch): topology tables, message
+// arenas and inbox are built once per graph and rebound per assignment, and
+// per-node output rounds land in the exact same integer PointAccumulators
+// the view sweeps use. Trial streams derive from (seed, point, trial)
+// exactly as in accumulate_point, so a message sweep and a view sweep of
+// the same scenario see identical id permutations - which is what lets the
+// cross-engine oracle tests compare the two engines sample by sample, and
+// what makes message shards merge bit-identically through core/shard.hpp.
+//
+// The engine is inherently sequential over trials (all nodes of a run
+// interact through the arenas), so threads/pool options are ignored here;
+// parallelism comes from sharding points and trial ranges across processes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batched_sweep.hpp"
+#include "local/engine.hpp"
+
+namespace avglocal::core {
+
+/// Builds the message-algorithm factory for the size-n member of a family
+/// (the message analogue of AlgorithmProvider).
+using MessageAlgorithmProvider = std::function<local::AlgorithmFactory(std::size_t)>;
+
+/// Engine-level knobs of a message sweep. Results depend on `knowledge`
+/// (it is part of the workload, carried by the algorithm registry), never
+/// on `max_rounds` (a liveness guard).
+struct MessageEngineOptions {
+  local::Knowledge knowledge = local::Knowledge::kUnknownN;
+  std::size_t max_rounds = 1u << 20;
+};
+
+/// Runs trials [trial_begin, trial_end) of point `point_index` on `g`
+/// through one reused engine and returns exact partials - the message
+/// analogue of accumulate_point, filling the same fields (radii are the
+/// rounds at which nodes output, r(v) of the message formulation).
+PointAccumulator accumulate_message_point(const graph::Graph& g, std::size_t point_index,
+                                          const local::AlgorithmFactory& algorithm,
+                                          const MessageEngineOptions& engine,
+                                          const BatchedSweepOptions& options,
+                                          std::size_t trial_begin, std::size_t trial_end);
+
+/// Message counterpart of run_batched_sweep: same seeds, same aggregates
+/// and distributions (node- and edge-averaged), one engine per point.
+/// BatchedSweepOptions::semantics/threads/pool are ignored (see header).
+std::vector<BatchedSweepPoint> run_message_sweep(const std::vector<std::size_t>& ns,
+                                                 const GraphFactory& graphs,
+                                                 const MessageAlgorithmProvider& algorithms,
+                                                 const MessageEngineOptions& engine = {},
+                                                 const BatchedSweepOptions& options = {});
+
+}  // namespace avglocal::core

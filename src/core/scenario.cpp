@@ -81,9 +81,16 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
 
   const algo::AlgorithmRegistry& algorithms = algo::AlgorithmRegistry::global();
   const algo::AlgorithmInfo& algorithm = algorithms.at(spec.algorithm);
-  if (algorithm.kind != algo::AlgorithmKind::kView) {
-    throw std::invalid_argument("algorithm '" + spec.algorithm +
-                                "' runs on the message engine; scenarios sweep view algorithms");
+  const bool is_message = algorithm.kind == algo::AlgorithmKind::kMessage;
+  const std::string engine_name = is_message ? "message" : "view";
+  if (!spec.engine.empty() && spec.engine != "view" && spec.engine != "message") {
+    throw std::invalid_argument("scenario: unknown engine '" + spec.engine +
+                                "' (known: view message)");
+  }
+  if (!spec.engine.empty() && spec.engine != engine_name) {
+    throw std::invalid_argument("scenario: engine '" + spec.engine + "' does not run algorithm '" +
+                                spec.algorithm + "', which is a " + engine_name +
+                                " algorithm; drop the engine field or use '" + engine_name + "'");
   }
 
   AVGLOCAL_EXPECTS_MSG(!spec.ns.empty(), "scenario needs at least one size");
@@ -91,6 +98,11 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
 
   ResolvedScenario resolved;
   resolved.spec = spec;
+  resolved.spec.engine = engine_name;
+  // The message engine has no view-semantics knob; its rounds deliver
+  // flooding knowledge. Canonicalising the field keeps two descriptions of
+  // the same message workload byte-identical in artefacts.
+  if (is_message) resolved.spec.semantics = local::ViewSemantics::kFloodingKnowledge;
 
   // Canonical parameter list: every declared parameter, declaration order,
   // defaults filled in.
@@ -121,9 +133,16 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   };
 
   const std::string algorithm_name = spec.algorithm;
-  resolved.algorithms = [algorithm_name](std::size_t n) {
-    return algo::AlgorithmRegistry::global().at(algorithm_name).view(n);
-  };
+  if (is_message) {
+    resolved.messages = [algorithm_name](std::size_t n) {
+      return algo::AlgorithmRegistry::global().at(algorithm_name).messages(n);
+    };
+    resolved.message_engine.knowledge = algorithm.knowledge;
+  } else {
+    resolved.algorithms = [algorithm_name](std::size_t n) {
+      return algo::AlgorithmRegistry::global().at(algorithm_name).view(n);
+    };
+  }
   return resolved;
 }
 
@@ -140,6 +159,7 @@ void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec) {
   for (const auto& [name, value] : spec.family.params) json.key(name).value(value);
   json.end_object();
   json.key("algorithm").value(spec.algorithm);
+  json.key("engine").value(spec.engine);
   json.key("ns").begin_array();
   for (const std::size_t n : spec.ns) json.value(static_cast<std::uint64_t>(n));
   json.end_array();
@@ -167,6 +187,10 @@ ScenarioSpec scenario_from_json(const support::JsonValue& value) {
     spec.family.params.emplace_back(name, param.as_double());
   }
   spec.algorithm = value.at("algorithm").as_string();
+  // Pre-engine-routing (shard format v2) scenario blocks have no engine
+  // key; leave it empty and let resolve_scenario fill it in.
+  const support::JsonValue* engine = value.find("engine");
+  spec.engine = engine == nullptr ? "" : engine->as_string();
   spec.ns.clear();
   const support::JsonValue& ns = value.at("ns");
   for (std::size_t i = 0; i < ns.size(); ++i) spec.ns.push_back(ns[i].as_u64());
@@ -193,9 +217,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
   const ResolvedScenario resolved = resolve_scenario(spec);
   const TrialSchedule& schedule = resolved.spec.schedule;
 
+  // Message scenarios run the engine serially (all nodes of a run interact
+  // through the arenas); spawning idle workers for them would be pure cost.
   std::unique_ptr<support::ThreadPool> owned_pool;
   support::ThreadPool* pool = execution.pool;
-  if (pool == nullptr) {
+  if (pool == nullptr && !resolved.is_message()) {
     const std::size_t workers =
         execution.threads != 0 ? execution.threads
                                : std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -213,12 +239,26 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
     const std::size_t n = resolved.spec.ns[index];
     const graph::Graph g = resolved.graphs(n);
     AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
-    const local::ViewAlgorithmFactory factory = resolved.algorithms(n);
+
+    // One trial-range runner per engine; the schedule below is agnostic to
+    // which engine fills the exact-integer accumulators.
+    const local::ViewAlgorithmFactory view_factory =
+        resolved.is_message() ? local::ViewAlgorithmFactory{} : resolved.algorithms(n);
+    const local::AlgorithmFactory message_factory =
+        resolved.is_message() ? resolved.messages(n) : local::AlgorithmFactory{};
+    const auto accumulate = [&](std::size_t trial_begin,
+                                std::size_t trial_end) -> PointAccumulator {
+      if (resolved.is_message()) {
+        return accumulate_message_point(g, index, message_factory, resolved.message_engine, base,
+                                        trial_begin, trial_end);
+      }
+      return accumulate_point(g, index, view_factory, base, trial_begin, trial_end, pool);
+    };
 
     const std::size_t first =
         schedule.adaptive() ? std::min(schedule.min_trials, schedule.max_trials)
                             : schedule.max_trials;
-    PointAccumulator acc = accumulate_point(g, index, factory, base, 0, first, pool);
+    PointAccumulator acc = accumulate(0, first);
 
     ScenarioPoint point;
     point.converged = !schedule.adaptive();
@@ -230,7 +270,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
       }
       if (trials >= schedule.max_trials) break;
       const std::size_t next = std::min(trials + schedule.batch, schedule.max_trials);
-      acc.append(accumulate_point(g, index, factory, base, trials, next, pool));
+      acc.append(accumulate(trials, next));
     }
 
     point.point = finalize_point(acc, resolved.sweep_options(acc.trial_count()));
@@ -238,6 +278,28 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
     result.points.push_back(std::move(point));
   }
   return result;
+}
+
+std::vector<PointAccumulator> run_scenario_shard(const ResolvedScenario& resolved,
+                                                 const BatchedSweepOptions& options,
+                                                 const SweepShard& shard) {
+  if (!resolved.is_message()) {
+    return run_sweep_shard(resolved.spec.ns, resolved.graphs, resolved.algorithms, options, shard);
+  }
+  AVGLOCAL_EXPECTS(!shard.empty());
+  AVGLOCAL_EXPECTS(shard.point_end <= resolved.spec.ns.size());
+  AVGLOCAL_EXPECTS(shard.trial_end <= options.trials);
+  std::vector<PointAccumulator> partials;
+  partials.reserve(shard.point_end - shard.point_begin);
+  for (std::size_t point = shard.point_begin; point < shard.point_end; ++point) {
+    const std::size_t n = resolved.spec.ns[point];
+    const graph::Graph g = resolved.graphs(n);
+    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
+    partials.push_back(accumulate_message_point(g, point, resolved.messages(n),
+                                                resolved.message_engine, options,
+                                                shard.trial_begin, shard.trial_end));
+  }
+  return partials;
 }
 
 }  // namespace avglocal::core

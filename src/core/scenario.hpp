@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "core/batched_sweep.hpp"
+#include "core/message_sweep.hpp"
+#include "core/shard.hpp"
 #include "graph/family_registry.hpp"
 #include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
@@ -61,8 +63,9 @@ struct TrialSchedule {
 };
 
 /// A declarative sweep workload. String keys resolve against
-/// graph::FamilyRegistry and algo::AlgorithmRegistry (view algorithms
-/// only - message algorithms have no batched sweep path).
+/// graph::FamilyRegistry and algo::AlgorithmRegistry; both view and
+/// message algorithms are sweepable (the registry kind selects the
+/// engine).
 struct ScenarioSpec {
   graph::FamilySpec family{"cycle", {}};
   std::string algorithm = "largest-id";
@@ -72,19 +75,32 @@ struct ScenarioSpec {
   TrialSchedule schedule;
   std::vector<double> quantile_probs = {0.5, 0.9, 0.99};
   bool node_profile = false;
+  /// Executing engine: "view" or "message". Normally left empty and filled
+  /// in by resolve_scenario from the algorithm's registry kind; a non-empty
+  /// value is validated against that kind (a precise mismatch error beats a
+  /// radii mix-up). Canonical specs always carry it, so artefact scenario
+  /// blocks are self-describing about the formulation that produced them.
+  std::string engine;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
 /// A validated, runnable scenario. `spec` is the canonical form: family
 /// parameters resolved to the full declaration-order list (defaults
-/// included) and sizes snapped to realised sizes (deduplicated, order
-/// kept), so two specs that describe the same workload resolve to equal -
-/// and identically serialised - canonical specs.
+/// included), sizes snapped to realised sizes (deduplicated, order kept)
+/// and the engine filled in, so two specs that describe the same workload
+/// resolve to equal - and identically serialised - canonical specs.
+///
+/// Exactly one of `algorithms` (view engine) and `messages` (message
+/// engine) is set, per the algorithm's registry kind.
 struct ResolvedScenario {
   ScenarioSpec spec;
   GraphFactory graphs;
-  AlgorithmProvider algorithms;
+  AlgorithmProvider algorithms;          ///< view scenarios only
+  MessageAlgorithmProvider messages;     ///< message scenarios only
+  MessageEngineOptions message_engine;   ///< knowledge et al. (message only)
+
+  bool is_message() const noexcept { return static_cast<bool>(messages); }
 
   /// Sweep options for a fixed run of `trials` trials (defaults to the
   /// schedule cap; shards and adaptive rounds override the count).
@@ -136,5 +152,14 @@ struct ScenarioExecution {
 
 /// Runs the scenario monolithically, applying the trial schedule per point.
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& execution = {});
+
+/// Runs one shard of a resolved scenario through the engine its spec names
+/// (the scenario-level counterpart of run_sweep_shard): accumulators for
+/// points [shard.point_begin, point_end), trials [trial_begin, trial_end).
+/// `options` must come from resolved.sweep_options() (threads/batch may be
+/// adjusted; they never change results).
+std::vector<PointAccumulator> run_scenario_shard(const ResolvedScenario& resolved,
+                                                 const BatchedSweepOptions& options,
+                                                 const SweepShard& shard);
 
 }  // namespace avglocal::core

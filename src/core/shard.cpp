@@ -12,10 +12,14 @@ namespace avglocal::core {
 
 namespace {
 
-/// Version 2: the meta block gained the required self-describing `scenario`
-/// field. Version-1 artefacts (no such field) are rejected cleanly by the
-/// version check rather than by a confusing missing-key error.
-constexpr std::uint64_t kShardFormatVersion = 2;
+/// Version 3: the meta block gained the `engine` field ("view" |
+/// "message") and points carry the edge-averaged partials (`edges`,
+/// `trial_edge_sum`, `edge_histogram`). Version-2 artefacts still parse:
+/// they read as engine "view" with empty edge data (edges == 0), which
+/// finalizes to all-zero edge measures. Version 1 (no scenario field) stays
+/// rejected by the version check.
+constexpr std::uint64_t kShardFormatVersion = 3;
+constexpr std::uint64_t kShardFormatV2 = 2;
 
 local::ViewSemantics semantics_from_name(const std::string& name) {
   const auto semantics = local::view_semantics_from_name(name);
@@ -135,6 +139,7 @@ std::string shard_to_json(const ShardDocument& doc) {
   json.key("algorithm").value(doc.meta.algorithm);
   json.key("graph").value(doc.meta.graph);
   json.key("scenario").value(doc.meta.scenario);
+  json.key("engine").value(doc.meta.engine);
   json.key("shard").begin_object();
   json.key("point_begin").value(static_cast<std::uint64_t>(doc.shard.point_begin));
   json.key("point_end").value(static_cast<std::uint64_t>(doc.shard.point_end));
@@ -146,6 +151,7 @@ std::string shard_to_json(const ShardDocument& doc) {
     json.begin_object();
     json.key("point_index").value(static_cast<std::uint64_t>(acc.point_index));
     json.key("n").value(static_cast<std::uint64_t>(acc.n));
+    json.key("edges").value(static_cast<std::uint64_t>(acc.edges));
     json.key("trial_begin").value(static_cast<std::uint64_t>(acc.trial_begin));
     json.key("trial_sum");
     write_u64_array(json, acc.trial_sum);
@@ -156,6 +162,11 @@ std::string shard_to_json(const ShardDocument& doc) {
     json.end_array();
     json.key("node_sum");
     write_u64_array(json, acc.node_sum);
+    json.key("trial_edge_sum");
+    write_u64_array(json, acc.trial_edge_sum);
+    json.key("edge_histogram").begin_array();
+    for (std::uint64_t c : acc.edge_histogram.counts()) json.value(c);
+    json.end_array();
     json.end_object();
   }
   json.end_array();
@@ -166,9 +177,11 @@ std::string shard_to_json(const ShardDocument& doc) {
 ShardDocument parse_shard_json(std::string_view text) {
   const support::JsonValue root = support::parse_json(text);
   const support::JsonValue* version = root.find("avglocal_shard");
-  if (version == nullptr || version->as_u64() != kShardFormatVersion) {
-    throw std::runtime_error("shard: not an avglocal shard artefact (version 2)");
+  if (version == nullptr ||
+      (version->as_u64() != kShardFormatVersion && version->as_u64() != kShardFormatV2)) {
+    throw std::runtime_error("shard: not an avglocal shard artefact (version 2 or 3)");
   }
+  const bool v2 = version->as_u64() == kShardFormatV2;
 
   ShardDocument doc;
   doc.meta.seed = root.at("seed").as_u64();
@@ -184,6 +197,7 @@ ShardDocument parse_shard_json(std::string_view text) {
   doc.meta.algorithm = root.at("algorithm").as_string();
   doc.meta.graph = root.at("graph").as_string();
   doc.meta.scenario = root.at("scenario").as_string();
+  doc.meta.engine = v2 ? "view" : root.at("engine").as_string();
 
   const support::JsonValue& shard = root.at("shard");
   doc.shard.point_begin = shard.at("point_begin").as_u64();
@@ -203,7 +217,18 @@ ShardDocument parse_shard_json(std::string_view text) {
     acc.trial_max = read_u64_array(p.at("trial_max"));
     acc.histogram = local::RadiusHistogram(read_u64_array(p.at("histogram")));
     acc.node_sum = read_u64_array(p.at("node_sum"));
-    if (acc.trial_sum.size() != acc.trial_max.size() || acc.node_sum.size() != acc.n) {
+    if (v2) {
+      // No edge data in version 2: edges == 0 finalizes to all-zero edge
+      // measures; the zero per-trial sums keep append() and finalize_point
+      // shape-consistent.
+      acc.trial_edge_sum.assign(acc.trial_sum.size(), 0);
+    } else {
+      acc.edges = p.at("edges").as_u64();
+      acc.trial_edge_sum = read_u64_array(p.at("trial_edge_sum"));
+      acc.edge_histogram = local::RadiusHistogram(read_u64_array(p.at("edge_histogram")));
+    }
+    if (acc.trial_sum.size() != acc.trial_max.size() || acc.node_sum.size() != acc.n ||
+        acc.trial_edge_sum.size() != acc.trial_sum.size()) {
       throw std::runtime_error("shard: inconsistent point arrays");
     }
     doc.points.push_back(std::move(acc));

@@ -66,6 +66,11 @@ struct SweepPlanMeta {
   /// but differ in family parameters - reject by construction. Empty for
   /// callers below the scenario layer.
   std::string scenario;
+  /// Which engine produced the radii: "view" (run_views_batched) or
+  /// "message" (run_message_sweep). Compared on merge like every other
+  /// field - the two engines' radii are both just integers, so without
+  /// this label artefacts from different formulations could interleave.
+  std::string engine = "view";
 
   static SweepPlanMeta from_options(const std::vector<std::size_t>& ns,
                                     const BatchedSweepOptions& options);

@@ -16,24 +16,27 @@ namespace avglocal::local {
 // through a precomputed O(1) mirror-arc table. All buffers - arenas, inbox,
 // contexts - are allocated during construction/warm-up and reused, so the
 // steady-state round loop performs no heap allocations.
+//
+// Everything the constructor builds is identifier-independent (topology
+// tables, arenas, contexts up to the id field), so one engine serves a
+// whole batch of id-assignments: bind() re-points the contexts at the next
+// assignment, clears the arenas and resets (or, for algorithms that do not
+// support reset(), reconstructs) the per-node instances.
 class Engine {
  public:
-  Engine(const graph::Graph& g, const graph::IdAssignment& ids, const AlgorithmFactory& factory,
-         const EngineOptions& options)
-      : g_(&g), options_(options) {
-    AVGLOCAL_EXPECTS(ids.size() == g.vertex_count());
+  Engine(const graph::Graph& g, const AlgorithmFactory& factory, const EngineOptions& options)
+      : g_(&g), factory_(factory), options_(options) {
     const std::size_t n = g.vertex_count();
     contexts_.resize(n);
     algorithms_.reserve(n);
     std::size_t max_degree = 0;
     for (graph::Vertex v = 0; v < n; ++v) {
-      contexts_[v].id_ = ids.id_of(v);
       if (options.knowledge == Knowledge::kKnowsN) contexts_[v].n_ = n;
       contexts_[v].degree_ = g.degree(v);
       contexts_[v].outgoing_ = &outgoing_;
       contexts_[v].arc_base_ = g.arc_index(v, 0);
       max_degree = std::max(max_degree, g.degree(v));
-      algorithms_.push_back(factory());
+      algorithms_.push_back(factory_());
       AVGLOCAL_REQUIRE_MSG(algorithms_.back() != nullptr, "algorithm factory returned null");
     }
     // in_slot_[arc(v, q)]: the sender-side arc whose payload arrives at v on
@@ -58,6 +61,32 @@ class Engine {
   // moving would leave them sending through the original engine.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Points the engine at the next assignment: fresh ids and node state,
+  /// empty arenas, algorithms back in their initial state. Must be called
+  /// before every run(), including the first.
+  void bind(const graph::IdAssignment& ids) {
+    AVGLOCAL_EXPECTS(ids.size() == g_->vertex_count());
+    const std::size_t n = g_->vertex_count();
+    for (graph::Vertex v = 0; v < n; ++v) {
+      contexts_[v].id_ = ids.id_of(v);
+      contexts_[v].round_ = 0;
+      contexts_[v].output_.reset();
+      contexts_[v].output_round_ = 0;
+      if (!algorithms_[v]->reset()) {
+        algorithms_[v] = factory_();
+        AVGLOCAL_REQUIRE_MSG(algorithms_[v] != nullptr, "algorithm factory returned null");
+      }
+    }
+    // A fresh run must deliver nothing in round 0 and start its sends in an
+    // empty arena; begin_round keeps both arenas' capacity.
+    arena_a_.begin_round();
+    arena_b_.begin_round();
+    outgoing_ = &arena_a_;
+    delivering_ = &arena_b_;
+    total_messages_ = 0;
+    total_words_ = 0;
+  }
 
   RunResult run() {
     const std::size_t n = g_->vertex_count();
@@ -136,6 +165,7 @@ class Engine {
   }
 
   const graph::Graph* g_;
+  AlgorithmFactory factory_;
   EngineOptions options_;
   std::vector<NodeContext> contexts_;
   std::vector<std::unique_ptr<Algorithm>> algorithms_;
@@ -151,8 +181,23 @@ class Engine {
 
 RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
                        const AlgorithmFactory& factory, const EngineOptions& options) {
-  Engine engine(g, ids, factory, options);
+  Engine engine(g, factory, options);
+  engine.bind(ids);
   return engine.run();
+}
+
+void run_messages_batch(const graph::Graph& g, std::span<const graph::IdAssignment> batch,
+                        const AlgorithmFactory& factory, const EngineOptions& options,
+                        const MessageResultFn& sink) {
+  if (batch.empty()) return;
+  Engine engine(g, factory, options);
+  for (std::size_t trial = 0; trial < batch.size(); ++trial) {
+    engine.bind(batch[trial]);
+    const RunResult run = engine.run();
+    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+      sink(trial, v, run.outputs[v], run.radii[v]);
+    }
+  }
 }
 
 }  // namespace avglocal::local

@@ -34,6 +34,13 @@ class Algorithm {
   /// Round k >= 1: inbox holds the messages queued by neighbours in round
   /// k-1, ordered by receiving port.
   virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+
+  /// Returns this instance to its initial state so it can serve a fresh
+  /// run, as if newly constructed. Implementations supporting reuse return
+  /// true; the default returns false and the engine constructs a new
+  /// instance instead. run_messages_batch calls this once per (node,
+  /// assignment), so supporting it removes n allocations per trial.
+  virtual bool reset() noexcept { return false; }
 };
 
 /// Creates one Algorithm instance per node.
@@ -62,5 +69,22 @@ struct EngineOptions {
 /// information equals the radius of the ball v has seen.
 RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
                        const AlgorithmFactory& factory, const EngineOptions& options = {});
+
+/// Per-(trial, node) result callback of run_messages_batch; `radius` is the
+/// round at which the node output. Invoked for every node of trial t before
+/// any node of trial t+1, vertices in increasing order.
+using MessageResultFn = std::function<void(std::size_t trial, graph::Vertex v,
+                                           std::int64_t output, std::size_t radius)>;
+
+/// Runs the algorithm on every id-assignment of `batch` through ONE engine:
+/// topology tables, message arenas, inbox and contexts are built once and
+/// rebound per assignment, and algorithm instances whose reset() returns
+/// true are reused instead of reconstructed. Results are bit-identical to a
+/// run_messages call per assignment (a test pins this); the steady-state
+/// round loop stays allocation-free, and with resettable algorithms the
+/// whole per-trial loop allocates nothing after warm-up.
+void run_messages_batch(const graph::Graph& g, std::span<const graph::IdAssignment> batch,
+                        const AlgorithmFactory& factory, const EngineOptions& options,
+                        const MessageResultFn& sink);
 
 }  // namespace avglocal::local

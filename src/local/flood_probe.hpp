@@ -37,6 +37,9 @@ class FloodRelay final : public Algorithm {
     }
   }
 
+  /// on_start rewrites all member state, so batch reuse is free.
+  bool reset() noexcept override { return true; }
+
  private:
   std::size_t output_round_;
   std::array<std::uint64_t, 2> words_{};

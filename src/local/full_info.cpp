@@ -95,6 +95,24 @@ class FullInfoNode final : public Algorithm {
       }
     }
     evaluate(ctx);
+    send_fresh(ctx, fresh);
+  }
+
+  bool reset() noexcept override {
+    if (!inner_->reset()) return false;
+    known_ids_.clear();
+    known_.clear();
+    seen_existence_.clear();
+    seen_adjacency_.clear();
+    order_.clear();
+    local_ids_.clear();
+    // view_'s arrays are rebuilt from scratch by reconstruct(); the spans
+    // and flags it leaves behind are re-set before the next evaluate.
+    return true;
+  }
+
+ private:
+  void send_fresh(NodeContext& ctx, const std::vector<Payload>& fresh) {
     if (!fresh.empty()) {
       Encoder e;
       e.u64(fresh.size());
@@ -111,7 +129,6 @@ class FullInfoNode final : public Algorithm {
     }
   }
 
- private:
   /// Finds or creates the record of identifier `id`. known_ids_ / known_
   /// form a sorted flat map (parallel arrays): lookups are binary searches,
   /// inserts shift a ball-sized tail of cheap vector headers.
@@ -254,11 +271,14 @@ class FullInfoNode final : public Algorithm {
 
 }  // namespace
 
+AlgorithmFactory make_full_info_factory(ViewAlgorithmFactory factory) {
+  return [factory = std::move(factory)]() { return std::make_unique<FullInfoNode>(factory); };
+}
+
 RunResult run_views_by_messages(const graph::Graph& g, const graph::IdAssignment& ids,
                                 const ViewAlgorithmFactory& factory,
                                 const EngineOptions& options) {
-  return run_messages(
-      g, ids, [&factory]() { return std::make_unique<FullInfoNode>(factory); }, options);
+  return run_messages(g, ids, make_full_info_factory(factory), options);
 }
 
 }  // namespace avglocal::local

@@ -21,6 +21,15 @@
 
 namespace avglocal::local {
 
+/// Wraps a view algorithm as a message algorithm: each node gossips
+/// identifier/adjacency facts, reconstructs its radius-k view after k
+/// rounds and feeds it to `factory`'s algorithm. This is the message
+/// formulation of *any* view algorithm - run_message_sweep accepts it
+/// directly, which is what lets the cross-engine oracle suite compare the
+/// two engines on arbitrary topologies. Supports Algorithm::reset whenever
+/// the inner view algorithm does.
+AlgorithmFactory make_full_info_factory(ViewAlgorithmFactory factory);
+
 /// Runs `factory`'s view algorithm on every vertex via message flooding.
 /// The result's radii equal the rounds after which each node output.
 RunResult run_views_by_messages(const graph::Graph& g, const graph::IdAssignment& ids,

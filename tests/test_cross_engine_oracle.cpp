@@ -1,0 +1,146 @@
+// Cross-engine oracle suite: algorithms with both a view and a message
+// formulation must produce identical per-node output rounds through every
+// execution path - run_message_sweep (one reused engine), run_views_batched
+// (geometry replay) and the full-information gossip adapter - on rings,
+// tori, gnp graphs and random trees under shared sweep seeds.
+//
+// This is the strongest claim the simulator makes (the paper's two
+// formulations of the LOCAL model agree, at code level), and it pins the
+// new message-sweep path to the measurement ground truth sample by sample,
+// not just in aggregate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/largest_id.hpp"
+#include "core/batched_sweep.hpp"
+#include "core/message_sweep.hpp"
+#include "graph/generators.hpp"
+#include "graph/ids.hpp"
+#include "local/full_info.hpp"
+#include "local/view_engine.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace avglocal;
+
+struct NamedGraph {
+  std::string name;
+  graph::Graph g;
+};
+
+std::vector<NamedGraph> oracle_topologies() {
+  support::Xoshiro256 rng(4242);
+  std::vector<NamedGraph> out;
+  out.push_back({"ring", graph::make_cycle(20)});
+  out.push_back({"torus", graph::make_torus(4, 5)});
+  out.push_back({"gnp", graph::make_gnp_connected(18, 0.18, rng)});
+  out.push_back({"random_tree", graph::make_random_tree(19, rng)});
+  return out;
+}
+
+/// The sweep's id assignment for (seed, point, trial) - the single seed
+/// derivation every engine path shares.
+graph::IdAssignment sweep_ids(std::uint64_t seed, std::size_t point, std::size_t trial,
+                              std::size_t n) {
+  support::Xoshiro256 rng(support::derive_seed(support::derive_seed(seed, point), trial));
+  return graph::IdAssignment::random(n, rng);
+}
+
+// The message formulation of largest-id is the full-information adapter on
+// general graphs (the hand-rolled token flooding below is ring-only); its
+// rounds equal the flooding-knowledge view radii.
+TEST(CrossEngineOracle, MessageSweepEqualsBatchedViewsAndAdapterEverywhere) {
+  constexpr std::uint64_t kSeed = 606;
+  constexpr std::size_t kTrials = 4;
+
+  for (const auto& [name, g] : oracle_topologies()) {
+    const std::size_t n = g.vertex_count();
+
+    core::BatchedSweepOptions options;
+    options.trials = kTrials;
+    options.seed = kSeed;
+    options.semantics = local::ViewSemantics::kFloodingKnowledge;
+
+    // Path 1: the message sweep over the gossip adapter (one reused
+    // engine for all trials).
+    const core::PointAccumulator message_acc = core::accumulate_message_point(
+        g, /*point_index=*/0, local::make_full_info_factory(algo::make_largest_id_view()), {},
+        options, 0, kTrials);
+
+    // Path 2: the batched view engine under the same options.
+    const core::PointAccumulator view_acc =
+        core::accumulate_point(g, /*point_index=*/0, algo::make_largest_id_view(), options, 0,
+                               kTrials, /*pool=*/nullptr);
+
+    // Identical per-node output rounds make the entire exact-integer
+    // accumulators equal - per-trial sums and maxima, per-node sums, node
+    // and edge histograms, edge times.
+    EXPECT_EQ(message_acc, view_acc) << name;
+
+    // Path 3: the adapter run one trial at a time through run_messages
+    // (fresh engine per trial), against per-vertex view-engine runs.
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const graph::IdAssignment ids = sweep_ids(kSeed, 0, t, n);
+      const auto adapter =
+          local::run_views_by_messages(g, ids, algo::make_largest_id_view());
+      local::ViewEngineOptions flooding;
+      flooding.semantics = local::ViewSemantics::kFloodingKnowledge;
+      const auto views = local::run_views(g, ids, algo::make_largest_id_view(), flooding);
+      EXPECT_EQ(adapter.outputs, views.outputs) << name << " trial " << t;
+      EXPECT_EQ(adapter.radii, views.radii) << name << " trial " << t;
+    }
+  }
+}
+
+// On rings the hand-rolled token-flooding formulation (largest-id-msg) is
+// also available; its output rounds must match the flooding-knowledge view
+// radii, closing the triangle message-algorithm = adapter = view engine.
+TEST(CrossEngineOracle, RingTokenFloodingMatchesViewRadii) {
+  constexpr std::uint64_t kSeed = 707;
+  constexpr std::size_t kTrials = 5;
+  const auto g = graph::make_cycle(23);
+
+  core::BatchedSweepOptions options;
+  options.trials = kTrials;
+  options.seed = kSeed;
+  options.semantics = local::ViewSemantics::kFloodingKnowledge;
+
+  const core::PointAccumulator token_acc = core::accumulate_message_point(
+      g, 0, algo::make_largest_id_messages(), {}, options, 0, kTrials);
+  const core::PointAccumulator view_acc =
+      core::accumulate_point(g, 0, algo::make_largest_id_view(), options, 0, kTrials, nullptr);
+  EXPECT_EQ(token_acc, view_acc);
+
+  const core::PointAccumulator adapter_acc = core::accumulate_message_point(
+      g, 0, local::make_full_info_factory(algo::make_largest_id_view()), {}, options, 0,
+      kTrials);
+  EXPECT_EQ(token_acc, adapter_acc);
+}
+
+// The parity must hold for every pool size of the view engine: the message
+// sweep is serial by construction, so this pins "thread schedule never
+// changes results" across engines, not just within one.
+TEST(CrossEngineOracle, ParityIsThreadScheduleIndependent) {
+  support::Xoshiro256 rng(99);
+  const auto g = graph::make_gnp_connected(16, 0.2, rng);
+  core::BatchedSweepOptions options;
+  options.trials = 3;
+  options.seed = 5;
+  options.semantics = local::ViewSemantics::kFloodingKnowledge;
+
+  const core::PointAccumulator message_acc = core::accumulate_message_point(
+      g, 0, local::make_full_info_factory(algo::make_largest_id_view()), {}, options, 0, 3);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    support::ThreadPool pool(threads);
+    const core::PointAccumulator view_acc = core::accumulate_point(
+        g, 0, algo::make_largest_id_view(), options, 0, 3, &pool);
+    EXPECT_EQ(message_acc, view_acc) << "threads=" << threads;
+  }
+}
+
+}  // namespace

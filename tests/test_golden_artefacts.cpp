@@ -1,0 +1,145 @@
+// Golden-artefact regression corpus: small canonical sweep artefacts are
+// committed under tests/golden/, and this suite re-runs the exact same
+// scenarios and requires the freshly serialised artefacts to be
+// byte-identical to the committed files. Shard format v3 - key order,
+// number formatting, scenario block, edge partials - cannot drift silently;
+// any intentional format change must regenerate the corpus (set
+// AVGLOCAL_REGEN_GOLDEN=1 and re-run this binary) and show up in review as
+// a diff of the committed artefacts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/shard.hpp"
+
+#ifndef AVGLOCAL_GOLDEN_DIR
+#error "AVGLOCAL_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace avglocal;
+
+struct GoldenCase {
+  const char* file;
+  const char* algorithm;
+  const char* family;
+  std::size_t n;
+};
+
+const GoldenCase kCases[] = {
+    {"view-largest-id-cycle.json", "largest-id", "cycle", 12},
+    {"view-greedy-gnp.json", "greedy", "gnp", 12},
+    {"message-largest-id-cycle.json", "largest-id-msg", "cycle", 12},
+    {"message-local3-cycle.json", "local3", "cycle", 12},
+};
+
+/// One deterministic full-plan shard artefact per case; every knob pinned
+/// so the bytes are a pure function of the library.
+std::string render_case(const GoldenCase& c) {
+  core::ScenarioSpec spec;
+  spec.family = graph::parse_family_spec(c.family);
+  spec.algorithm = c.algorithm;
+  spec.ns = {c.n};
+  spec.seed = 2026;
+  spec.schedule.max_trials = 4;
+  const core::ResolvedScenario resolved = core::resolve_scenario(spec);
+  core::BatchedSweepOptions options = resolved.sweep_options();
+  options.threads = 1;
+
+  core::ShardDocument doc;
+  doc.meta = core::SweepPlanMeta::from_options(resolved.spec.ns, options);
+  doc.meta.algorithm = resolved.spec.algorithm;
+  doc.meta.graph = graph::family_spec_to_string(resolved.spec.family);
+  doc.meta.scenario = core::scenario_to_json(resolved.spec);
+  doc.meta.engine = resolved.spec.engine;
+  doc.shard = {0, resolved.spec.ns.size(), 0, options.trials};
+  doc.points = core::run_scenario_shard(resolved, options, doc.shard);
+  return core::shard_to_json(doc);
+}
+
+std::string golden_path(const GoldenCase& c) {
+  return std::string(AVGLOCAL_GOLDEN_DIR) + "/" + c.file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return {};
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(GoldenArtefacts, CommittedArtefactsAreByteIdenticalToFreshRuns) {
+  const bool regen = std::getenv("AVGLOCAL_REGEN_GOLDEN") != nullptr;
+  for (const GoldenCase& c : kCases) {
+    const std::string fresh = render_case(c);
+    const std::string path = golden_path(c);
+    if (regen) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << fresh;
+      continue;
+    }
+    const std::string committed = read_file(path);
+    ASSERT_FALSE(committed.empty())
+        << path << " missing; regenerate with AVGLOCAL_REGEN_GOLDEN=1";
+    EXPECT_EQ(fresh, committed) << c.file
+                                << ": artefact bytes drifted; if the format change is "
+                                   "intentional, regenerate the corpus";
+  }
+}
+
+TEST(GoldenArtefacts, CommittedArtefactsStillParseAndMerge) {
+  if (std::getenv("AVGLOCAL_REGEN_GOLDEN") != nullptr) GTEST_SKIP();
+  for (const GoldenCase& c : kCases) {
+    const std::string committed = read_file(golden_path(c));
+    ASSERT_FALSE(committed.empty()) << c.file;
+    core::ShardDocument doc = core::parse_shard_json(committed);
+    EXPECT_EQ(doc.meta.algorithm, c.algorithm) << c.file;
+    // Round trip: parse + re-serialise reproduces the committed bytes.
+    EXPECT_EQ(core::shard_to_json(doc), committed) << c.file;
+    // A full-plan artefact merges on its own into finalized points.
+    std::vector<core::ShardDocument> docs;
+    docs.push_back(std::move(doc));
+    const auto points = core::merge_shards(std::move(docs));
+    ASSERT_EQ(points.size(), 1u) << c.file;
+    EXPECT_EQ(points[0].trials, 4u) << c.file;
+    EXPECT_GT(points[0].radius.samples, 0u) << c.file;
+  }
+}
+
+/// A frozen byte string of a version-2 artefact (the pre-edge-measure
+/// format): the v2 reader must keep accepting it and default the new
+/// fields. Frozen inline rather than generated - the library can no longer
+/// write v2.
+TEST(GoldenArtefacts, Version2ArtefactsStillParse) {
+  const std::string v2 =
+      R"({"avglocal_shard":2,"seed":9,"trials":2,"semantics":"induced","ns":[4],)"
+      R"("quantile_probs":[0.5],"node_profile":false,"algorithm":"largest-id",)"
+      R"("graph":"cycle","scenario":"",)"
+      R"("shard":{"point_begin":0,"point_end":1,"trial_begin":0,"trial_end":2},)"
+      R"("points":[{"point_index":0,"n":4,"trial_begin":0,"trial_sum":[5,6],)"
+      R"("trial_max":[2,2],"histogram":[1,4,3],"node_sum":[3,2,3,3]}]})";
+  const core::ShardDocument doc = core::parse_shard_json(v2);
+  EXPECT_EQ(doc.meta.engine, "view");
+  ASSERT_EQ(doc.points.size(), 1u);
+  EXPECT_EQ(doc.points[0].edges, 0u);
+  EXPECT_EQ(doc.points[0].trial_edge_sum, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_TRUE(doc.points[0].edge_histogram.empty());
+  // And merges: zero edge data finalizes to all-zero edge measures.
+  std::vector<core::ShardDocument> docs;
+  docs.push_back(doc);
+  const auto points = core::merge_shards(std::move(docs));
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].edges, 0u);
+  EXPECT_EQ(points[0].edge_avg_mean, 0.0);
+  EXPECT_EQ(points[0].edge_time.samples, 0u);
+}
+
+}  // namespace

@@ -183,9 +183,6 @@ TEST(Scenario, ResolveRejectsBadWorkloadsBeforeAnyWork) {
   EXPECT_THROW(core::resolve_scenario(spec), std::invalid_argument);
 
   spec.family = {"cycle", {}};
-  spec.algorithm = "local3";  // message algorithm: no sweep path
-  EXPECT_THROW(core::resolve_scenario(spec), std::invalid_argument);
-
   spec.algorithm = "largest-id";
   spec.schedule.target_half_width = 0.5;
   spec.schedule.min_trials = 1;  // no variance estimate from one trial
@@ -195,6 +192,53 @@ TEST(Scenario, ResolveRejectsBadWorkloadsBeforeAnyWork) {
   // 0 would report instant convergence from a zero-width interval.
   spec.schedule.min_trials = 16;
   spec.schedule.max_trials = 1;
+  EXPECT_THROW(core::resolve_scenario(spec), std::invalid_argument);
+}
+
+TEST(Scenario, ResolveRoutesAlgorithmsToTheirEngine) {
+  // Message algorithms used to be rejected here; they now resolve to the
+  // message-engine path, with the canonical spec naming the engine (and
+  // pinning the semantics field, which the message engine has no use for).
+  core::ScenarioSpec spec;
+  spec.family = {"cycle", {}};
+  spec.algorithm = "largest-id-msg";
+  spec.ns = {16};
+  const core::ResolvedScenario message = core::resolve_scenario(spec);
+  EXPECT_TRUE(message.is_message());
+  EXPECT_FALSE(static_cast<bool>(message.algorithms));
+  EXPECT_EQ(message.spec.engine, "message");
+  EXPECT_EQ(message.spec.semantics, local::ViewSemantics::kFloodingKnowledge);
+
+  spec.algorithm = "largest-id";
+  const core::ResolvedScenario view = core::resolve_scenario(spec);
+  EXPECT_FALSE(view.is_message());
+  EXPECT_TRUE(static_cast<bool>(view.algorithms));
+  EXPECT_EQ(view.spec.engine, "view");
+}
+
+TEST(Scenario, ResolveRejectsEngineMismatchesPrecisely) {
+  // The combinations that remain unsupported fail at validation time with
+  // an error naming both sides, never deep inside a sweep.
+  core::ScenarioSpec spec;
+  spec.family = {"cycle", {}};
+  spec.ns = {16};
+
+  spec.algorithm = "largest-id-msg";
+  spec.engine = "view";
+  try {
+    core::resolve_scenario(spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("largest-id-msg"), std::string::npos) << what;
+    EXPECT_NE(what.find("message"), std::string::npos) << what;
+  }
+
+  spec.algorithm = "largest-id";
+  spec.engine = "message";
+  EXPECT_THROW(core::resolve_scenario(spec), std::invalid_argument);
+
+  spec.engine = "carrier-pigeon";
   EXPECT_THROW(core::resolve_scenario(spec), std::invalid_argument);
 }
 
