@@ -11,7 +11,10 @@
 //  * message-sweep throughput on the batch path (one engine rebound per
 //    assignment, vs a fresh engine per trial) with the same per-round
 //    zero-allocation gate, plus run_message_sweep trials/sec on the
-//    largest-id-msg scenario workload.
+//    largest-id-msg scenario workload;
+//  * parallel message sweeps through the SweepDriver (one engine per pool
+//    worker lane over disjoint trial ranges) vs the serial path, with a
+//    bit-identity check and a >= 1.5x speedup gate in full runs.
 //
 // Usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]
 #include <algorithm>
@@ -29,6 +32,7 @@
 #include "core/batched_sweep.hpp"
 #include "core/message_sweep.hpp"
 #include "core/scenario.hpp"
+#include "core/sweep_driver.hpp"
 #include "graph/generators.hpp"
 #include "graph/ids.hpp"
 #include "local/engine.hpp"
@@ -61,6 +65,17 @@ double seconds_since(Clock::time_point start) {
 // endpoints, and fresh per-vertex view/frontier buffers. Do not modernise.
 // ------------------------------------------------------------------------
 namespace legacy {
+
+/// The pre-flat-memory O(degree) reverse-port scan, kept here after the
+/// library dropped Graph::port_to (mirror_port is precomputed everywhere):
+/// the legacy baseline must keep its original cost profile.
+std::size_t port_to(const graph::Graph& g, graph::Vertex v, graph::Vertex u) {
+  const auto nbrs = g.neighbours(v);
+  for (std::size_t port = 0; port < nbrs.size(); ++port) {
+    if (nbrs[port] == u) return port;
+  }
+  return nbrs.size();
+}
 
 struct View {
   int radius = 0;
@@ -118,8 +133,8 @@ class Grower {
   void resolve_edge(graph::Vertex a, graph::Vertex b) {
     const local::LocalVertex la = (*local_of_)[a];
     const local::LocalVertex lb = (*local_of_)[b];
-    const std::size_t pa = g_->port_to(a, b);  // O(degree) scan, as before
-    const std::size_t pb = g_->port_to(b, a);
+    const std::size_t pa = port_to(*g_, a, b);  // O(degree) scan, as before
+    const std::size_t pb = port_to(*g_, b, a);
     if (view_.ports[la][pa] == local::kUnknownTarget) {
       view_.ports[la][pa] = lb;
       --unresolved_ports_;
@@ -444,6 +459,11 @@ MessageSweepThroughput bench_message_sweep(std::size_t n, std::size_t rounds,
     core::BatchedSweepOptions options;
     options.trials = std::max<std::size_t>(2, trials / 2);
     options.seed = 7;
+    // Pinned serial: this metric tracked the serial sweep stack before
+    // run_message_sweep learned to pool, and keeping it single-threaded
+    // preserves cross-run comparability; the parallel leg below measures
+    // the pooled path explicitly.
+    options.threads = 1;
     const auto start = Clock::now();
     const auto points = core::run_message_sweep(
         {sweep_n}, [](std::size_t m) { return graph::make_cycle(m); },
@@ -453,6 +473,65 @@ MessageSweepThroughput bench_message_sweep(std::size_t n, std::size_t rounds,
         static_cast<double>(options.trials) / seconds_since(start);
     if (points.empty() || points[0].radius.samples == 0) std::abort();
   }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Parallel message sweep: the SweepDriver splits a point's trial range into
+// contiguous chunks, one arena-backed engine per pool worker lane, and
+// appends the exact-integer partials in trial order. The pooled and serial
+// accumulators must agree bit for bit (checked here and CI-pinned via cmp
+// on CLI reports); the speedup is the feature's reason to exist.
+// ------------------------------------------------------------------------
+
+struct MessageParallelThroughput {
+  double serial_trials_per_sec = 0;
+  double pooled_trials_per_sec = 0;
+  double parallel_speedup = 0;
+  std::size_t pool_workers = 1;
+};
+
+MessageParallelThroughput bench_message_parallel(std::size_t n, std::size_t rounds) {
+  const auto g = graph::make_cycle(n);
+  const core::MessageBackend backend(
+      [rounds](std::size_t) {
+        return local::AlgorithmFactory([rounds] { return std::make_unique<FloodRelay>(rounds); });
+      },
+      core::MessageEngineOptions{});
+
+  support::ThreadPool pool;  // hardware concurrency
+  MessageParallelThroughput out;
+  out.pool_workers = pool.size();
+
+  // Enough trials to keep every lane busy, bounded so the full run stays
+  // minutes-scale on very wide machines.
+  const std::size_t trials =
+      std::clamp<std::size_t>(4 * pool.size(), 8, 64);
+  core::BatchedSweepOptions options;
+  options.trials = trials;
+  options.seed = 13;
+
+  core::PointAccumulator serial_acc;
+  core::PointAccumulator pooled_acc;
+  {
+    const core::SweepDriver driver(backend, options, nullptr);
+    core::SweepDriver::Point point = driver.prepare(g, 0);
+    const auto start = Clock::now();
+    serial_acc = driver.run_trials(point, 0, trials);
+    out.serial_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  }
+  {
+    const core::SweepDriver driver(backend, options, &pool);
+    core::SweepDriver::Point point = driver.prepare(g, 0);
+    const auto start = Clock::now();
+    pooled_acc = driver.run_trials(point, 0, trials);
+    out.pooled_trials_per_sec = static_cast<double>(trials) / seconds_since(start);
+  }
+  if (!(serial_acc == pooled_acc)) {
+    std::cerr << "bench_regression: pooled message sweep diverged from the serial path\n";
+    std::exit(2);
+  }
+  out.parallel_speedup = out.pooled_trials_per_sec / out.serial_trials_per_sec;
   return out;
 }
 
@@ -494,6 +573,11 @@ int main(int argc, char** argv) {
   const EngineThroughput engine = bench_message_engine(engine_n, engine_rounds);
   const MessageSweepThroughput message_sweep =
       bench_message_sweep(engine_n, engine_rounds, /*trials=*/smoke ? 4 : 16);
+  // Parallel message sweeps on the n=10k ring (the view-sweep workload's
+  // size) with a shorter relay: the gate is about scaling across lanes,
+  // not per-round throughput.
+  const MessageParallelThroughput message_parallel =
+      bench_message_parallel(smoke ? engine_n : 10'000, /*rounds=*/smoke ? 16 : 64);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -541,6 +625,10 @@ int main(int argc, char** argv) {
   json.key("message_sweep_trials_per_sec").value(message_sweep.sweep_trials_per_sec);
   json.key("allocs_per_round_after_warmup").value(message_sweep.allocs_per_round_after_warmup);
   json.key("bytes_per_round_after_warmup").value(message_sweep.bytes_per_round_after_warmup);
+  json.key("parallel_serial_trials_per_sec").value(message_parallel.serial_trials_per_sec);
+  json.key("parallel_pooled_trials_per_sec").value(message_parallel.pooled_trials_per_sec);
+  json.key("parallel_speedup").value(message_parallel.parallel_speedup);
+  json.key("parallel_workers").value(static_cast<std::uint64_t>(message_parallel.pool_workers));
   json.end_object();
   json.end_object();
 
@@ -577,6 +665,16 @@ int main(int argc, char** argv) {
     std::cerr << "bench_regression: scenario-layer dispatch overhead " << dispatch.overhead_pct
               << "% > 2%\n";
     return 5;
+  }
+  // Parallel message sweeps must actually scale: with at least two lanes
+  // the pooled path has to beat serial by 1.5x (near-linear is typical -
+  // trials are independent and lanes share nothing but the graph). A
+  // single-core machine cannot exhibit a speedup, so the gate needs >= 2
+  // workers; the bit-identity check above ran regardless.
+  if (!smoke && message_parallel.pool_workers >= 2 && message_parallel.parallel_speedup < 1.5) {
+    std::cerr << "bench_regression: parallel message sweep speedup "
+              << message_parallel.parallel_speedup << " < 1.5\n";
+    return 8;
   }
   return 0;
 }

@@ -18,7 +18,8 @@
 //   avglocal_cli sweep --algo cv3 --graph cycle --ns 4096 --trials 5000
 //                      --target-hw 0.05 --min-trials 32 --adaptive-batch 64
 //   avglocal_cli sweep --algo largest-id-msg --graph cycle --ns 1024 --trials 100
-//                      (message algorithms sweep too; the registry picks the engine)
+//                      (message algorithms sweep too; the registry picks the engine,
+//                       and --threads parallelises trial ranges across worker engines)
 //
 // Sharded sweeps (run shard i of k anywhere, then merge the artefacts;
 // the merge is bit-identical to the monolithic sweep):
@@ -356,8 +357,10 @@ void sweep_usage() {
          "       avglocal_cli drive ...sweep flags... --shards K [--jobs J] [--retries R]\n"
          "                          [--workdir DIR] [--keep-artefacts]\n"
          "  `list` enumerates the algorithm and graph-family names. View and message\n"
-         "  algorithms both sweep; the registry picks the engine (message sweeps ignore\n"
-         "  --semantics and --threads: the engine is serial, shard across processes).\n"
+         "  algorithms both sweep; the registry picks the engine. --threads parallelises\n"
+         "  both: view sweeps share vertices across workers, message sweeps run one\n"
+         "  engine per worker over disjoint trial ranges - results are byte-identical\n"
+         "  for every thread count (message sweeps ignore --semantics).\n"
          "  --trials is the trial count - or, with --target-hw, the adaptive cap: trials\n"
          "  grow in batches until the avg-mean confidence half-width closes below H.\n"
          "  --shard I/K runs trial range I of K and writes a mergeable artefact; merge\n"

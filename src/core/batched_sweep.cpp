@@ -1,9 +1,8 @@
 #include "core/batched_sweep.hpp"
 
 #include <algorithm>
-#include <memory>
-#include <thread>
 
+#include "core/sweep_driver.hpp"
 #include "graph/ids.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -70,76 +69,13 @@ PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index
                                   const local::ViewAlgorithmFactory& algorithm,
                                   const BatchedSweepOptions& options, std::size_t trial_begin,
                                   std::size_t trial_end, support::ThreadPool* pool) {
-  PointAccumulator acc = make_point_accumulator(g, point_index, trial_begin, trial_end);
-  const std::size_t n = g.vertex_count();
-  const std::size_t total = trial_end - trial_begin;
-
-  const std::uint64_t point_seed = support::derive_seed(options.seed, point_index);
-  const std::size_t batch_cap =
-      options.batch_size == 0 ? total : std::min(options.batch_size, total);
-
-  // Per-worker partials: trial aggregates are indexed within the batch and
-  // folded into `acc` after it, always by integer addition / maximum, so
-  // the totals do not depend on which worker ran which vertices.
-  struct WorkerPartial {
-    std::vector<std::uint64_t> trial_sum;
-    std::vector<std::uint64_t> trial_max;
-    local::RadiusHistogram histogram;
-  };
-  std::vector<WorkerPartial> partials(pool != nullptr ? pool->size() : 1);
-
-  local::ViewEngineOptions engine;
-  engine.semantics = options.semantics;
-  engine.pool = pool;
-
-  // Edge times need both endpoints of every edge, so the per-batch radii
-  // are kept in a dense (trial x vertex) matrix (uint32: radii are bounded
-  // by n, and the builder caps graphs at 2^32 arcs) and swept over the
-  // canonical edge list once per batch. The flat `edge_counts` array stands
-  // in for the histogram during accumulation - one increment per sample -
-  // and converts exactly at the end.
-  const auto edge_list = canonical_edges(g);
-  std::vector<std::uint32_t> radius_matrix(batch_cap * n);
-  std::vector<std::uint64_t> edge_counts;
-
-  std::vector<graph::IdAssignment> batch;
-  batch.reserve(batch_cap);
-  for (std::size_t batch_begin = 0; batch_begin < total; batch_begin += batch_cap) {
-    const std::size_t batch_size = std::min(batch_cap, total - batch_begin);
-    fill_sweep_batch(batch, n, point_seed, trial_begin + batch_begin, batch_size);
-    for (WorkerPartial& w : partials) {
-      w.trial_sum.assign(batch_size, 0);
-      w.trial_max.assign(batch_size, 0);
-      w.histogram = local::RadiusHistogram();
-    }
-
-    local::run_views_batched(
-        g, batch, algorithm, engine,
-        [&](std::size_t worker, std::size_t trial, graph::Vertex v, std::int64_t /*output*/,
-            std::size_t radius) {
-          WorkerPartial& w = partials[worker];
-          const auto r = static_cast<std::uint64_t>(radius);
-          w.trial_sum[trial] += r;
-          w.trial_max[trial] = std::max(w.trial_max[trial], r);
-          w.histogram.add(radius);
-          // Workers own disjoint vertex ranges, so these shared rows are
-          // safe: each (trial, v) cell has exactly one writer.
-          acc.node_sum[v] += r;
-          radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
-        });
-
-    for (const WorkerPartial& w : partials) {
-      for (std::size_t i = 0; i < batch_size; ++i) {
-        acc.trial_sum[batch_begin + i] += w.trial_sum[i];
-        acc.trial_max[batch_begin + i] = std::max(acc.trial_max[batch_begin + i], w.trial_max[i]);
-      }
-      acc.histogram.merge(w.histogram);
-    }
-
-    accumulate_edge_partials(edge_list, radius_matrix, batch_begin, batch_size, acc, edge_counts);
-  }
-  acc.edge_histogram = local::RadiusHistogram(std::move(edge_counts));
-  return acc;
+  // Thin shim over the engine-agnostic driver (core/sweep_driver.hpp); the
+  // per-worker partial folding and edge accumulation that used to live
+  // here are now ViewBackend::run_batch and SweepDriver::run_lane.
+  const ViewBackend backend([&algorithm](std::size_t) { return algorithm; }, options.semantics);
+  SweepDriver driver(backend, options, pool);
+  SweepDriver::Point point = driver.prepare(g, point_index);
+  return driver.run_trials(point, trial_begin, trial_end);
 }
 
 BatchedSweepPoint finalize_point(const PointAccumulator& acc, const BatchedSweepOptions& options) {
@@ -196,31 +132,12 @@ std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>&
                                                  const GraphFactory& graphs,
                                                  const AlgorithmProvider& algorithms,
                                                  const BatchedSweepOptions& options) {
-  AVGLOCAL_EXPECTS(options.trials >= 1);
-
   // One pool for the whole sweep, as in run_random_sweep - but without the
   // trial clamp: the batched engine parallelises over vertices, so every
   // worker stays busy regardless of the trial count.
-  std::unique_ptr<support::ThreadPool> owned_pool;
-  support::ThreadPool* pool = options.pool;
-  if (pool == nullptr) {
-    const std::size_t workers = options.threads != 0
-                                    ? options.threads
-                                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    owned_pool = std::make_unique<support::ThreadPool>(workers);
-    pool = owned_pool.get();
-  }
-
-  std::vector<BatchedSweepPoint> points;
-  points.reserve(ns.size());
-  for (std::size_t point_index = 0; point_index < ns.size(); ++point_index) {
-    const graph::Graph g = graphs(ns[point_index]);
-    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == ns[point_index], "graph factory size mismatch");
-    const PointAccumulator acc = accumulate_point(g, point_index, algorithms(ns[point_index]),
-                                                  options, 0, options.trials, pool);
-    points.push_back(finalize_point(acc, options));
-  }
-  return points;
+  const ViewBackend backend(algorithms, options.semantics);
+  const SweepPool pool(options);
+  return SweepDriver(backend, options, pool.get()).run(ns, graphs);
 }
 
 std::vector<BatchedSweepPoint> run_batched_sweep(const std::vector<std::size_t>& ns,

@@ -147,8 +147,10 @@ void accumulate_edge_partials(std::span<const std::pair<graph::Vertex, graph::Ve
                               PointAccumulator& acc, std::vector<std::uint64_t>& edge_counts);
 
 /// Runs trials [trial_begin, trial_end) of point `point_index` on `g` and
-/// returns exact partials. Building block of run_batched_sweep and of
-/// sharded execution (core/shard.hpp). `pool` may be null (serial).
+/// returns exact partials. Since the SweepBackend redesign this is a thin
+/// shim over core::SweepDriver + core::ViewBackend (core/sweep_driver.hpp);
+/// callers that revisit a point should hold a driver and a prepared Point
+/// instead. `pool` may be null (serial).
 PointAccumulator accumulate_point(const graph::Graph& g, std::size_t point_index,
                                   const local::ViewAlgorithmFactory& algorithm,
                                   const BatchedSweepOptions& options, std::size_t trial_begin,

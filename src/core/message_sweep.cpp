@@ -1,10 +1,6 @@
 #include "core/message_sweep.hpp"
 
-#include <algorithm>
-
-#include "graph/ids.hpp"
-#include "support/assert.hpp"
-#include "support/rng.hpp"
+#include "core/sweep_driver.hpp"
 
 namespace avglocal::core {
 
@@ -13,45 +9,14 @@ PointAccumulator accumulate_message_point(const graph::Graph& g, std::size_t poi
                                           const MessageEngineOptions& engine,
                                           const BatchedSweepOptions& options,
                                           std::size_t trial_begin, std::size_t trial_end) {
-  PointAccumulator acc = make_point_accumulator(g, point_index, trial_begin, trial_end);
-  const std::size_t n = g.vertex_count();
-  const std::size_t total = trial_end - trial_begin;
-
-  const std::uint64_t point_seed = support::derive_seed(options.seed, point_index);
-  const std::size_t batch_cap =
-      options.batch_size == 0 ? total : std::min(options.batch_size, total);
-
-  local::EngineOptions engine_options;
-  engine_options.knowledge = engine.knowledge;
-  engine_options.max_rounds = engine.max_rounds;
-
-  const auto edge_list = canonical_edges(g);
-  std::vector<std::uint32_t> radius_matrix(batch_cap * n);
-  std::vector<std::uint64_t> edge_counts;
-
-  std::vector<graph::IdAssignment> batch;
-  batch.reserve(batch_cap);
-  for (std::size_t batch_begin = 0; batch_begin < total; batch_begin += batch_cap) {
-    const std::size_t batch_size = std::min(batch_cap, total - batch_begin);
-    // fill_sweep_batch is what guarantees a message sweep and a view sweep
-    // of one scenario run the same id permutations trial by trial.
-    fill_sweep_batch(batch, n, point_seed, trial_begin + batch_begin, batch_size);
-
-    local::run_messages_batch(
-        g, batch, algorithm, engine_options,
-        [&](std::size_t trial, graph::Vertex v, std::int64_t /*output*/, std::size_t radius) {
-          const auto r = static_cast<std::uint64_t>(radius);
-          acc.trial_sum[batch_begin + trial] += r;
-          acc.trial_max[batch_begin + trial] = std::max(acc.trial_max[batch_begin + trial], r);
-          acc.histogram.add(radius);
-          acc.node_sum[v] += r;
-          radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
-        });
-
-    accumulate_edge_partials(edge_list, radius_matrix, batch_begin, batch_size, acc, edge_counts);
-  }
-  acc.edge_histogram = local::RadiusHistogram(std::move(edge_counts));
-  return acc;
+  // Thin shim over the engine-agnostic driver (core/sweep_driver.hpp),
+  // deliberately serial like the pre-driver entry point: callers wanting
+  // pooled trial ranges or a persistent engine across calls hold a
+  // SweepDriver (and its prepared Point) themselves.
+  const MessageBackend backend([&algorithm](std::size_t) { return algorithm; }, engine);
+  SweepDriver driver(backend, options, nullptr);
+  SweepDriver::Point point = driver.prepare(g, point_index);
+  return driver.run_trials(point, trial_begin, trial_end);
 }
 
 std::vector<BatchedSweepPoint> run_message_sweep(const std::vector<std::size_t>& ns,
@@ -59,17 +24,9 @@ std::vector<BatchedSweepPoint> run_message_sweep(const std::vector<std::size_t>&
                                                  const MessageAlgorithmProvider& algorithms,
                                                  const MessageEngineOptions& engine,
                                                  const BatchedSweepOptions& options) {
-  AVGLOCAL_EXPECTS(options.trials >= 1);
-  std::vector<BatchedSweepPoint> points;
-  points.reserve(ns.size());
-  for (std::size_t point_index = 0; point_index < ns.size(); ++point_index) {
-    const graph::Graph g = graphs(ns[point_index]);
-    AVGLOCAL_REQUIRE_MSG(g.vertex_count() == ns[point_index], "graph factory size mismatch");
-    const PointAccumulator acc = accumulate_message_point(
-        g, point_index, algorithms(ns[point_index]), engine, options, 0, options.trials);
-    points.push_back(finalize_point(acc, options));
-  }
-  return points;
+  const MessageBackend backend(algorithms, engine);
+  const SweepPool pool(options);
+  return SweepDriver(backend, options, pool.get()).run(ns, graphs);
 }
 
 }  // namespace avglocal::core

@@ -1,20 +1,26 @@
 // Batched random sweeps over the message engine: the counterpart of
 // core/batched_sweep.hpp for the paper's first formulation of the LOCAL
-// model.
+// model. Since the SweepBackend redesign both entry points are thin shims
+// over core::SweepDriver + core::MessageBackend (core/sweep_driver.hpp);
+// new callers should hold a driver directly.
 //
-// run_message_sweep runs batches of id-assignments through ONE arena-backed
-// engine per point (local::run_messages_batch): topology tables, message
-// arenas and inbox are built once per graph and rebound per assignment, and
-// per-node output rounds land in the exact same integer PointAccumulators
-// the view sweeps use. Trial streams derive from (seed, point, trial)
-// exactly as in accumulate_point, so a message sweep and a view sweep of
-// the same scenario see identical id permutations - which is what lets the
-// cross-engine oracle tests compare the two engines sample by sample, and
-// what makes message shards merge bit-identically through core/shard.hpp.
+// run_message_sweep runs batches of id-assignments through persistent
+// arena-backed engines (local::MessageBatchRunner): topology tables,
+// message arenas and inbox are built once per (point, worker lane) and
+// rebound per assignment, and per-node output rounds land in the exact
+// same integer PointAccumulators the view sweeps use. Trial streams derive
+// from (seed, point, trial) exactly as in accumulate_point, so a message
+// sweep and a view sweep of the same scenario see identical id
+// permutations - which is what lets the cross-engine oracle tests compare
+// the two engines sample by sample, and what makes message shards merge
+// bit-identically through core/shard.hpp.
 //
-// The engine is inherently sequential over trials (all nodes of a run
-// interact through the arenas), so threads/pool options are ignored here;
-// parallelism comes from sharding points and trial ranges across processes.
+// One run is inherently sequential (all nodes interact through the
+// arenas), but the sweep is not: run_message_sweep honours
+// BatchedSweepOptions::threads/pool by splitting each point's trial range
+// into contiguous chunks, one private engine per pool worker lane, and
+// appending the exact-integer partials in trial order - bit-identical to
+// the serial sweep for every worker count (test- and CI-pinned).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,7 @@ struct MessageEngineOptions {
 /// through one reused engine and returns exact partials - the message
 /// analogue of accumulate_point, filling the same fields (radii are the
 /// rounds at which nodes output, r(v) of the message formulation).
+/// Deliberately serial; sweeping callers go through core::SweepDriver.
 PointAccumulator accumulate_message_point(const graph::Graph& g, std::size_t point_index,
                                           const local::AlgorithmFactory& algorithm,
                                           const MessageEngineOptions& engine,
@@ -48,8 +55,9 @@ PointAccumulator accumulate_message_point(const graph::Graph& g, std::size_t poi
                                           std::size_t trial_begin, std::size_t trial_end);
 
 /// Message counterpart of run_batched_sweep: same seeds, same aggregates
-/// and distributions (node- and edge-averaged), one engine per point.
-/// BatchedSweepOptions::semantics/threads/pool are ignored (see header).
+/// and distributions (node- and edge-averaged), one persistent engine per
+/// (point, worker lane). BatchedSweepOptions::semantics is ignored;
+/// threads/pool parallelise disjoint trial ranges (see header).
 std::vector<BatchedSweepPoint> run_message_sweep(const std::vector<std::size_t>& ns,
                                                  const GraphFactory& graphs,
                                                  const MessageAlgorithmProvider& algorithms,

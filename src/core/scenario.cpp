@@ -4,9 +4,9 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
-#include <thread>
 
 #include "algo/registry.hpp"
+#include "core/sweep_driver.hpp"
 #include "support/assert.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
@@ -57,6 +57,11 @@ double partial_avg_sd(const PointAccumulator& acc) {
 
 double TrialSchedule::half_width(double sd, std::size_t trials) const noexcept {
   return z * sd / std::sqrt(static_cast<double>(trials));
+}
+
+std::unique_ptr<SweepBackend> ResolvedScenario::make_backend() const {
+  if (is_message()) return std::make_unique<MessageBackend>(messages, message_engine);
+  return std::make_unique<ViewBackend>(algorithms, spec.semantics);
 }
 
 BatchedSweepOptions ResolvedScenario::sweep_options() const {
@@ -217,48 +222,39 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
   const ResolvedScenario resolved = resolve_scenario(spec);
   const TrialSchedule& schedule = resolved.spec.schedule;
 
-  // Message scenarios run the engine serially (all nodes of a run interact
-  // through the arenas); spawning idle workers for them would be pure cost.
-  std::unique_ptr<support::ThreadPool> owned_pool;
-  support::ThreadPool* pool = execution.pool;
-  if (pool == nullptr && !resolved.is_message()) {
-    const std::size_t workers =
-        execution.threads != 0 ? execution.threads
-                               : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    owned_pool = std::make_unique<support::ThreadPool>(workers);
-    pool = owned_pool.get();
-  }
-
   ScenarioResult result;
   result.spec = resolved.spec;
   result.points.reserve(resolved.spec.ns.size());
 
   BatchedSweepOptions base = resolved.sweep_options();
   base.batch_size = execution.batch_size;
+  base.threads = execution.threads;
+  base.pool = execution.pool;
+  // One pool for the whole run (SweepPool's sizing rule), whichever engine
+  // executes: the view backend shares each point's vertices across the
+  // workers, the message backend runs one private engine per worker lane
+  // over disjoint trial ranges. Neither changes results (execution knobs
+  // never do).
+  const SweepPool pool(base);
+  const std::unique_ptr<SweepBackend> backend = resolved.make_backend();
+  const SweepDriver driver(*backend, base, pool.get());
+
   for (std::size_t index = 0; index < resolved.spec.ns.size(); ++index) {
     const std::size_t n = resolved.spec.ns[index];
     const graph::Graph g = resolved.graphs(n);
     AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
 
-    // One trial-range runner per engine; the schedule below is agnostic to
-    // which engine fills the exact-integer accumulators.
-    const local::ViewAlgorithmFactory view_factory =
-        resolved.is_message() ? local::ViewAlgorithmFactory{} : resolved.algorithms(n);
-    const local::AlgorithmFactory message_factory =
-        resolved.is_message() ? resolved.messages(n) : local::AlgorithmFactory{};
-    const auto accumulate = [&](std::size_t trial_begin,
-                                std::size_t trial_end) -> PointAccumulator {
-      if (resolved.is_message()) {
-        return accumulate_message_point(g, index, message_factory, resolved.message_engine, base,
-                                        trial_begin, trial_end);
-      }
-      return accumulate_point(g, index, view_factory, base, trial_begin, trial_end, pool);
-    };
+    // The prepared point persists across adaptive rounds: the backend's
+    // state - for messages, the arena-backed engine and its topology
+    // tables - is built once here, not once per accumulate call. The
+    // schedule below is agnostic to which engine fills the exact-integer
+    // accumulators.
+    SweepDriver::Point prepared = driver.prepare(g, index);
 
     const std::size_t first =
         schedule.adaptive() ? std::min(schedule.min_trials, schedule.max_trials)
                             : schedule.max_trials;
-    PointAccumulator acc = accumulate(0, first);
+    PointAccumulator acc = driver.run_trials(prepared, 0, first);
 
     ScenarioPoint point;
     point.converged = !schedule.adaptive();
@@ -270,7 +266,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
       }
       if (trials >= schedule.max_trials) break;
       const std::size_t next = std::min(trials + schedule.batch, schedule.max_trials);
-      acc.append(accumulate(trials, next));
+      acc.append(driver.run_trials(prepared, trials, next));
     }
 
     point.point = finalize_point(acc, resolved.sweep_options(acc.trial_count()));
@@ -283,21 +279,22 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioExecution& e
 std::vector<PointAccumulator> run_scenario_shard(const ResolvedScenario& resolved,
                                                  const BatchedSweepOptions& options,
                                                  const SweepShard& shard) {
-  if (!resolved.is_message()) {
-    return run_sweep_shard(resolved.spec.ns, resolved.graphs, resolved.algorithms, options, shard);
-  }
   AVGLOCAL_EXPECTS(!shard.empty());
   AVGLOCAL_EXPECTS(shard.point_end <= resolved.spec.ns.size());
   AVGLOCAL_EXPECTS(shard.trial_end <= options.trials);
+
+  const std::unique_ptr<SweepBackend> backend = resolved.make_backend();
+  const SweepPool pool(options);
+  const SweepDriver driver(*backend, options, pool.get());
+
   std::vector<PointAccumulator> partials;
   partials.reserve(shard.point_end - shard.point_begin);
   for (std::size_t point = shard.point_begin; point < shard.point_end; ++point) {
     const std::size_t n = resolved.spec.ns[point];
     const graph::Graph g = resolved.graphs(n);
     AVGLOCAL_REQUIRE_MSG(g.vertex_count() == n, "graph factory size mismatch");
-    partials.push_back(accumulate_message_point(g, point, resolved.messages(n),
-                                                resolved.message_engine, options,
-                                                shard.trial_begin, shard.trial_end));
+    SweepDriver::Point prepared = driver.prepare(g, point);
+    partials.push_back(driver.run_trials(prepared, shard.trial_begin, shard.trial_end));
   }
   return partials;
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "support/json_writer.hpp"
 
 namespace avglocal::core {
+
+class SweepBackend;
 
 /// How many random id-assignments a sweep point runs.
 struct TrialSchedule {
@@ -101,6 +104,13 @@ struct ResolvedScenario {
   MessageEngineOptions message_engine;   ///< knowledge et al. (message only)
 
   bool is_message() const noexcept { return static_cast<bool>(messages); }
+
+  /// Builds the SweepBackend the spec's engine field names (ViewBackend or
+  /// MessageBackend, core/sweep_backend.hpp), ready to drive through a
+  /// core::SweepDriver. Every scenario consumer - run_scenario,
+  /// run_scenario_shard, the CLI, benches, the conformance tests - runs
+  /// sweeps through this one seam.
+  std::unique_ptr<SweepBackend> make_backend() const;
 
   /// Sweep options for a fixed run of `trials` trials (defaults to the
   /// schedule cap; shards and adaptive rounds override the count).

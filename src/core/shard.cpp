@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <thread>
 
+#include "core/sweep_driver.hpp"
 #include "support/assert.hpp"
 #include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
@@ -92,23 +92,17 @@ std::vector<PointAccumulator> run_sweep_shard(const std::vector<std::size_t>& ns
   AVGLOCAL_EXPECTS(shard.point_end <= ns.size());
   AVGLOCAL_EXPECTS(shard.trial_end <= options.trials);
 
-  std::unique_ptr<support::ThreadPool> owned_pool;
-  support::ThreadPool* pool = options.pool;
-  if (pool == nullptr) {
-    const std::size_t workers = options.threads != 0
-                                    ? options.threads
-                                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    owned_pool = std::make_unique<support::ThreadPool>(workers);
-    pool = owned_pool.get();
-  }
+  const ViewBackend backend(algorithms, options.semantics);
+  const SweepPool pool(options);
+  const SweepDriver driver(backend, options, pool.get());
 
   std::vector<PointAccumulator> partials;
   partials.reserve(shard.point_end - shard.point_begin);
   for (std::size_t point = shard.point_begin; point < shard.point_end; ++point) {
     const graph::Graph g = graphs(ns[point]);
     AVGLOCAL_REQUIRE_MSG(g.vertex_count() == ns[point], "graph factory size mismatch");
-    partials.push_back(accumulate_point(g, point, algorithms(ns[point]), options,
-                                        shard.trial_begin, shard.trial_end, pool));
+    SweepDriver::Point prepared = driver.prepare(g, point);
+    partials.push_back(driver.run_trials(prepared, shard.trial_begin, shard.trial_end));
   }
   return partials;
 }
@@ -240,6 +234,12 @@ std::vector<BatchedSweepPoint> merge_shards(std::vector<ShardDocument> docs) {
   AVGLOCAL_EXPECTS(!docs.empty());
   const SweepPlanMeta& meta = docs.front().meta;
   for (const ShardDocument& doc : docs) {
+    // The engine mismatch gets its own precise error: both engines' radii
+    // are plain integers, so mixing a view artefact into a message plan (or
+    // vice versa) is the likeliest - and least self-evident - mix-up.
+    AVGLOCAL_REQUIRE_MSG(doc.meta.engine == meta.engine,
+                         "shard artefacts come from different engines ('" + meta.engine +
+                             "' vs '" + doc.meta.engine + "'); view and message sweeps never merge");
     AVGLOCAL_REQUIRE_MSG(doc.meta == meta, "shard artefacts describe different sweep plans");
   }
 

@@ -1,0 +1,131 @@
+#include "core/sweep_backend.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "local/engine.hpp"
+#include "local/view_engine.hpp"
+#include "support/assert.hpp"
+
+namespace avglocal::core {
+
+namespace {
+
+/// View-backend state: the per-size algorithm factory plus per-worker
+/// partial buffers. Trial aggregates are indexed within the batch and
+/// folded into the accumulator after each run_views_batched call, always by
+/// integer addition / maximum, so the totals do not depend on which worker
+/// ran which vertices.
+struct ViewPointState final : BackendPointState {
+  const graph::Graph* g = nullptr;
+  local::ViewAlgorithmFactory factory;
+  struct WorkerPartial {
+    std::vector<std::uint64_t> trial_sum;
+    std::vector<std::uint64_t> trial_max;
+    local::RadiusHistogram histogram;
+  };
+  std::vector<WorkerPartial> partials;
+};
+
+/// Message-backend state: ONE persistent arena-backed engine. The runner
+/// outlives every batch and adaptive round the driver pushes through it,
+/// so warm-up (topology tables, arenas, contexts) is paid once per
+/// (point, lane).
+struct MessagePointState final : BackendPointState {
+  explicit MessagePointState(local::MessageBatchRunner r) : runner(std::move(r)) {}
+  local::MessageBatchRunner runner;
+};
+
+}  // namespace
+
+ViewBackend::ViewBackend(AlgorithmProvider algorithms, local::ViewSemantics semantics)
+    : algorithms_(std::move(algorithms)), semantics_(semantics) {
+  AVGLOCAL_EXPECTS(static_cast<bool>(algorithms_));
+}
+
+std::unique_ptr<BackendPointState> ViewBackend::prepare(const graph::Graph& g,
+                                                        std::size_t /*point_index*/) const {
+  auto state = std::make_unique<ViewPointState>();
+  state->g = &g;
+  state->factory = algorithms_(g.vertex_count());
+  return state;
+}
+
+void ViewBackend::run_batch(BackendPointState& state, std::span<const graph::IdAssignment> batch,
+                            std::size_t batch_begin, support::ThreadPool* pool,
+                            PointAccumulator& acc,
+                            std::span<std::uint32_t> radius_matrix) const {
+  auto& view_state = static_cast<ViewPointState&>(state);
+  const std::size_t n = acc.n;
+  const std::size_t batch_size = batch.size();
+
+  view_state.partials.resize(pool != nullptr ? pool->size() : 1);
+  for (ViewPointState::WorkerPartial& w : view_state.partials) {
+    w.trial_sum.assign(batch_size, 0);
+    w.trial_max.assign(batch_size, 0);
+    w.histogram = local::RadiusHistogram();
+  }
+
+  local::ViewEngineOptions engine;
+  engine.semantics = semantics_;
+  engine.pool = pool;
+
+  local::run_views_batched(
+      *view_state.g, batch, view_state.factory, engine,
+      [&](std::size_t worker, std::size_t trial, graph::Vertex v, std::int64_t /*output*/,
+          std::size_t radius) {
+        ViewPointState::WorkerPartial& w = view_state.partials[worker];
+        const auto r = static_cast<std::uint64_t>(radius);
+        w.trial_sum[trial] += r;
+        w.trial_max[trial] = std::max(w.trial_max[trial], r);
+        w.histogram.add(radius);
+        // Workers own disjoint vertex ranges, so these shared rows are
+        // safe: each (trial, v) cell has exactly one writer.
+        acc.node_sum[v] += r;
+        radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
+      });
+
+  for (const ViewPointState::WorkerPartial& w : view_state.partials) {
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      acc.trial_sum[batch_begin + i] += w.trial_sum[i];
+      acc.trial_max[batch_begin + i] = std::max(acc.trial_max[batch_begin + i], w.trial_max[i]);
+    }
+    acc.histogram.merge(w.histogram);
+  }
+}
+
+MessageBackend::MessageBackend(MessageAlgorithmProvider algorithms, MessageEngineOptions engine)
+    : algorithms_(std::move(algorithms)), engine_(engine) {
+  AVGLOCAL_EXPECTS(static_cast<bool>(algorithms_));
+}
+
+std::unique_ptr<BackendPointState> MessageBackend::prepare(const graph::Graph& g,
+                                                           std::size_t /*point_index*/) const {
+  local::EngineOptions options;
+  options.knowledge = engine_.knowledge;
+  options.max_rounds = engine_.max_rounds;
+  return std::make_unique<MessagePointState>(
+      local::MessageBatchRunner(g, algorithms_(g.vertex_count()), options));
+}
+
+void MessageBackend::run_batch(BackendPointState& state,
+                               std::span<const graph::IdAssignment> batch,
+                               std::size_t batch_begin, support::ThreadPool* /*pool*/,
+                               PointAccumulator& acc,
+                               std::span<std::uint32_t> radius_matrix) const {
+  auto& message_state = static_cast<MessagePointState&>(state);
+  const std::size_t n = acc.n;
+  message_state.runner.run(
+      batch, [&](std::size_t trial, graph::Vertex v, std::int64_t /*output*/,
+                 std::size_t radius) {
+        const auto r = static_cast<std::uint64_t>(radius);
+        acc.trial_sum[batch_begin + trial] += r;
+        acc.trial_max[batch_begin + trial] = std::max(acc.trial_max[batch_begin + trial], r);
+        acc.histogram.add(radius);
+        acc.node_sum[v] += r;
+        radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
+      });
+}
+
+}  // namespace avglocal::core

@@ -79,6 +79,21 @@ Graph GraphBuilder::build() const {
     mirror[a.index] = static_cast<std::uint32_t>(b.index - offsets[b.from]);
     mirror[b.index] = static_cast<std::uint32_t>(a.index - offsets[a.from]);
   }
+#ifndef NDEBUG
+  // The mirror invariant every consumer (message delivery, edge measures,
+  // ball growth) now relies on without a port_to fallback: following an arc
+  // and its mirror lands back on the origin, for every arc. O(2m) checks,
+  // debug builds only.
+  for (Vertex u = 0; u < n; ++u) {
+    for (std::size_t p = 0; p < adjacency_[u].size(); ++p) {
+      const Vertex v = adjacency_[u][p];
+      const std::uint32_t q = mirror[offsets[u] + p];
+      AVGLOCAL_ASSERT(q < adjacency_[v].size());
+      AVGLOCAL_ASSERT(adjacency_[v][q] == u);
+      AVGLOCAL_ASSERT(mirror[offsets[v] + q] == static_cast<std::uint32_t>(p));
+    }
+  }
+#endif
   return Graph(std::move(offsets), std::move(targets), std::move(mirror));
 }
 

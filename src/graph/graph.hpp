@@ -42,13 +42,16 @@ class Graph {
     return targets_[offsets_[v] + port];
   }
 
-  /// The port of v that leads to neighbour u; degree(v) if u is not adjacent.
-  /// Linear in degree(v) - ad-hoc adjacency queries only. Hot paths that
-  /// already hold a (vertex, port) pair should use mirror_port instead.
-  std::size_t port_to(Vertex v, Vertex u) const noexcept;
-
-  /// True when u and v are adjacent.
-  bool has_edge(Vertex u, Vertex v) const noexcept { return port_to(u, v) != degree(u); }
+  /// True when u and v are adjacent. Linear in degree(u) - ad-hoc
+  /// adjacency queries only. Hot paths that hold a (vertex, port) pair
+  /// resolve the reverse direction through the precomputed mirror_port
+  /// table instead; the old port_to linear-scan fallback is gone.
+  bool has_edge(Vertex u, Vertex v) const noexcept {
+    for (const Vertex w : neighbours(u)) {
+      if (w == v) return true;
+    }
+    return false;
+  }
 
   /// Number of directed arcs (2 * edge_count). Arc indices returned by
   /// arc_index enumerate [0, arc_count).

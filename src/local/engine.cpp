@@ -62,6 +62,8 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  const graph::Graph& graph() const noexcept { return *g_; }
+
   /// Points the engine at the next assignment: fresh ids and node state,
   /// empty arenas, algorithms back in their initial state. Must be called
   /// before every run(), including the first.
@@ -186,18 +188,32 @@ RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
   return engine.run();
 }
 
+MessageBatchRunner::MessageBatchRunner(const graph::Graph& g, AlgorithmFactory factory,
+                                       const EngineOptions& options)
+    : engine_(std::make_unique<Engine>(g, std::move(factory), options)) {}
+
+MessageBatchRunner::~MessageBatchRunner() = default;
+MessageBatchRunner::MessageBatchRunner(MessageBatchRunner&&) noexcept = default;
+MessageBatchRunner& MessageBatchRunner::operator=(MessageBatchRunner&&) noexcept = default;
+
+void MessageBatchRunner::run(std::span<const graph::IdAssignment> batch,
+                             const MessageResultFn& sink) {
+  const std::size_t n = engine_->graph().vertex_count();
+  for (std::size_t trial = 0; trial < batch.size(); ++trial) {
+    engine_->bind(batch[trial]);
+    const RunResult run = engine_->run();
+    for (graph::Vertex v = 0; v < n; ++v) {
+      sink(trial, v, run.outputs[v], run.radii[v]);
+    }
+  }
+}
+
 void run_messages_batch(const graph::Graph& g, std::span<const graph::IdAssignment> batch,
                         const AlgorithmFactory& factory, const EngineOptions& options,
                         const MessageResultFn& sink) {
   if (batch.empty()) return;
-  Engine engine(g, factory, options);
-  for (std::size_t trial = 0; trial < batch.size(); ++trial) {
-    engine.bind(batch[trial]);
-    const RunResult run = engine.run();
-    for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
-      sink(trial, v, run.outputs[v], run.radii[v]);
-    }
-  }
+  MessageBatchRunner runner(g, factory, options);
+  runner.run(batch, sink);
 }
 
 }  // namespace avglocal::local

@@ -76,13 +76,40 @@ RunResult run_messages(const graph::Graph& g, const graph::IdAssignment& ids,
 using MessageResultFn = std::function<void(std::size_t trial, graph::Vertex v,
                                            std::int64_t output, std::size_t radius)>;
 
-/// Runs the algorithm on every id-assignment of `batch` through ONE engine:
-/// topology tables, message arenas, inbox and contexts are built once and
-/// rebound per assignment, and algorithm instances whose reset() returns
-/// true are reused instead of reconstructed. Results are bit-identical to a
-/// run_messages call per assignment (a test pins this); the steady-state
-/// round loop stays allocation-free, and with resettable algorithms the
-/// whole per-trial loop allocates nothing after warm-up.
+class Engine;
+
+/// A persistent handle on ONE arena-backed message engine bound to
+/// (graph, factory, options): topology tables, message arenas, inbox and
+/// contexts are built once at construction and rebound per assignment, and
+/// algorithm instances whose reset() returns true are reused instead of
+/// reconstructed. Unlike run_messages_batch, the engine survives across
+/// run() calls, so callers that revisit a point - adaptive trial rounds,
+/// per-worker trial ranges of a pooled sweep - pay the warm-up exactly
+/// once. Results are bit-identical to a run_messages call per assignment
+/// for every call pattern (a test pins this). Not thread-safe: one runner
+/// per worker.
+class MessageBatchRunner {
+ public:
+  MessageBatchRunner(const graph::Graph& g, AlgorithmFactory factory,
+                     const EngineOptions& options = {});
+  ~MessageBatchRunner();
+  MessageBatchRunner(MessageBatchRunner&&) noexcept;
+  MessageBatchRunner& operator=(MessageBatchRunner&&) noexcept;
+
+  /// Runs every id-assignment of `batch` through the persistent engine;
+  /// `trial` in the sink is the index within this batch. The steady-state
+  /// round loop stays allocation-free, and with resettable algorithms the
+  /// whole per-trial loop allocates nothing after warm-up.
+  void run(std::span<const graph::IdAssignment> batch, const MessageResultFn& sink);
+
+ private:
+  std::unique_ptr<Engine> engine_;
+};
+
+/// One-shot convenience over MessageBatchRunner: builds the engine, runs
+/// the batch, tears it down. Callers that run several batches of one point
+/// (adaptive rounds, pooled trial ranges) should hold a MessageBatchRunner
+/// instead.
 void run_messages_batch(const graph::Graph& g, std::span<const graph::IdAssignment> batch,
                         const AlgorithmFactory& factory, const EngineOptions& options,
                         const MessageResultFn& sink);

@@ -53,9 +53,9 @@ TEST(Builder, PortOrderFollowsInsertion) {
   EXPECT_EQ(g.neighbour(0, 0), 2u);
   EXPECT_EQ(g.neighbour(0, 1), 1u);
   EXPECT_EQ(g.neighbour(0, 2), 3u);
-  EXPECT_EQ(g.port_to(0, 1), 1u);
-  EXPECT_EQ(g.port_to(1, 0), 0u);
-  EXPECT_EQ(g.port_to(1, 2), g.degree(1)) << "absent edge reports degree";
+  EXPECT_EQ(g.mirror_port(1, 0), 1u) << "arc 1->0 mirrors to 0's port 1";
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2)) << "absent edge";
 }
 
 TEST(Generators, CyclePortConvention) {
@@ -240,7 +240,11 @@ TEST(Properties, Classification) {
   EXPECT_FALSE(is_tree(make_cycle(6)));
 }
 
-TEST(Graph, MirrorPortMatchesPortToEverywhere) {
+TEST(Graph, MirrorPortInvariantHoldsEverywhere) {
+  // mirror_port is the only reverse-edge lookup left (the port_to
+  // linear-scan fallback is gone), so pin its invariant independently of
+  // the builder's own debug assertions: the mirror arc leads back to the
+  // origin and mirroring is an involution, for every arc of every family.
   Xoshiro256 rng(31);
   const Graph graphs[] = {make_cycle(9), make_star(8), make_grid(3, 4),
                           make_random_tree(20, rng), make_gnp_connected(18, 0.3, rng)};
@@ -249,9 +253,11 @@ TEST(Graph, MirrorPortMatchesPortToEverywhere) {
       for (std::size_t p = 0; p < g.degree(v); ++p) {
         const Vertex u = g.neighbour(v, p);
         const std::size_t q = g.mirror_port(v, p);
-        EXPECT_EQ(q, g.port_to(u, v)) << "v=" << v << " p=" << p;
+        ASSERT_LT(q, g.degree(u)) << "v=" << v << " p=" << p;
         EXPECT_EQ(g.neighbour(u, q), v) << "mirror must lead back";
         EXPECT_EQ(g.mirror_port(u, q), p) << "mirror is an involution";
+        EXPECT_TRUE(g.has_edge(u, v));
+        EXPECT_TRUE(g.has_edge(v, u));
       }
     }
   }
