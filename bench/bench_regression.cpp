@@ -14,7 +14,17 @@
 //    largest-id-msg scenario workload;
 //  * parallel message sweeps through the SweepDriver (one engine per pool
 //    worker lane over disjoint trial ranges) vs the serial path, with a
-//    bit-identity check and a >= 1.5x speedup gate in full runs.
+//    bit-identity check and a >= 1.5x speedup gate in full runs;
+//  * the SIMD batch kernels against their scalar references
+//    (lockstep_gather_speedup, gated >= 1.5 on vector hosts) and the
+//    memcpy/bitmask-scan message arena against a frozen per-word replica
+//    (message_arena_word_speedup, gated >= 1.2), bit-identity asserted on
+//    every run;
+//  * the min_radius layer-jump vs the stepwise batched engine on the
+//    cole-vishkin schedule, with a bit-identity check;
+//  * a per-phase breakdown of the serial batched sweep (transpose build,
+//    BFS growth, id gather, algorithm eval) and a machine/ISA block so
+//    future regressions are attributable.
 //
 // Usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]
 #include <algorithm>
@@ -24,10 +34,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "algo/cole_vishkin.hpp"
 #include "algo/largest_id.hpp"
 #include "core/batched_sweep.hpp"
 #include "core/message_sweep.hpp"
@@ -39,9 +52,11 @@
 #include "local/flood_probe.hpp"
 #include "local/view.hpp"
 #include "local/view_engine.hpp"
+#include "support/aligned.hpp"
 #include "support/alloc_hook.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/thread_pool.hpp"
 
 AVGLOCAL_DEFINE_ALLOC_HOOK();
@@ -535,6 +550,301 @@ MessageParallelThroughput bench_message_parallel(std::size_t n, std::size_t roun
   return out;
 }
 
+// ------------------------------------------------------------------------
+// SIMD kernel microbenches: the dispatched kernels of support/simd.hpp
+// against their always-compiled scalar references, on the exact shapes the
+// batched view engine issues. Bit-identity is asserted on every run (the
+// kernels move words verbatim; a vector path that drifted from scalar
+// would corrupt every sweep). On hosts where active_isa() == "scalar" the
+// two legs run the same code and the ratio sits at ~1; the >= 1.5 gate in
+// main() therefore only applies on vector hosts.
+// ------------------------------------------------------------------------
+
+struct SimdKernelNumbers {
+  double gather_vector_elems_per_sec = 0;
+  double gather_scalar_elems_per_sec = 0;
+  double lockstep_gather_speedup = 0;
+};
+
+SimdKernelNumbers bench_lockstep_gather(bool smoke) {
+  // Transpose rows of a 256-trial batch with the active list a dense
+  // prefix (the dominant regime: every trial in flight), gathered in the
+  // two shapes the engine issues - the fused multi-layer jump (hundreds of
+  // ball vertices in one call) and the steady two-vertices-per-layer ring
+  // step.
+  constexpr std::size_t kTrials = 256;
+  constexpr std::size_t kStride = kTrials;  // multiple of 8, as the engine pads
+  constexpr std::size_t kVertices = 1024;
+  constexpr std::size_t kRows = 512;  // ball vertices gathered per rep
+  const std::size_t reps = smoke ? 8 : 128;
+
+  support::Xoshiro256 rng(21);
+  support::AlignedVector<std::uint64_t> rows(kVertices * kStride);
+  for (auto& w : rows) w = rng.next();
+  std::vector<std::uint32_t> row_index(kVertices);
+  std::iota(row_index.begin(), row_index.end(), 0u);
+  support::shuffle(row_index, rng);  // BFS discovery order is not sorted
+  row_index.resize(kRows);
+  std::vector<std::uint32_t> cols(kTrials);
+  std::iota(cols.begin(), cols.end(), 0u);
+
+  std::vector<support::AlignedVector<std::uint64_t>> vec_bufs(kTrials), sca_bufs(kTrials);
+  std::vector<std::uint64_t*> vec_heads(kTrials), sca_heads(kTrials);
+  for (std::size_t j = 0; j < kTrials; ++j) {
+    vec_bufs[j].assign(kRows, 0);
+    sca_bufs[j].assign(kRows, 1);
+    vec_heads[j] = vec_bufs[j].data();
+    sca_heads[j] = sca_bufs[j].data();
+  }
+
+  const auto run_shapes = [&](std::uint64_t* const* heads, const auto& kernel) {
+    // One fused jump-sized call, then the per-layer ring cadence over the
+    // same rows: equal element counts through both call shapes.
+    kernel(rows.data(), kStride, row_index.data(), kRows, cols.data(), kTrials, heads, 0);
+    for (std::size_t i = 0; i + 2 <= kRows; i += 2) {
+      kernel(rows.data(), kStride, row_index.data() + i, 2, cols.data(), kTrials, heads, i);
+    }
+  };
+  const double elems_per_rep = 2.0 * static_cast<double>(kRows) * static_cast<double>(kTrials);
+
+  SimdKernelNumbers out;
+  {
+    const auto start = Clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      run_shapes(vec_heads.data(),
+                 [](auto&&... args) { support::simd::layer_gather(args...); });
+    }
+    out.gather_vector_elems_per_sec =
+        static_cast<double>(reps) * elems_per_rep / seconds_since(start);
+  }
+  {
+    const auto start = Clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      run_shapes(sca_heads.data(),
+                 [](auto&&... args) { support::simd::scalar::layer_gather(args...); });
+    }
+    out.gather_scalar_elems_per_sec =
+        static_cast<double>(reps) * elems_per_rep / seconds_since(start);
+  }
+  for (std::size_t j = 0; j < kTrials; ++j) {
+    if (std::memcmp(vec_bufs[j].data(), sca_bufs[j].data(),
+                    kRows * sizeof(std::uint64_t)) != 0) {
+      std::cerr << "bench_regression: SIMD layer gather diverged from scalar reference\n";
+      std::exit(2);
+    }
+  }
+  out.lockstep_gather_speedup =
+      out.gather_vector_elems_per_sec / out.gather_scalar_elems_per_sec;
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Message-arena word paths: the library arena (memcpy push, ctz bitmask
+// drain) against a frozen replica of the pre-SIMD code (per-word copy
+// loops, per-arc presence tests). Deliberately kept faithful to the old
+// cost profile - do not modernise.
+// ------------------------------------------------------------------------
+
+namespace scalar_arena {
+
+struct Arena {
+  struct Slot {
+    std::size_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  std::vector<std::uint64_t> words_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> present_;
+  std::size_t used_words_ = 0;
+
+  void attach(std::size_t arc_count) {
+    slots_.assign(arc_count, Slot{});
+    present_.assign((arc_count + 63) / 64, 0);
+    used_words_ = 0;
+  }
+  void begin_round() {
+    std::fill(present_.begin(), present_.end(), 0);
+    used_words_ = 0;
+  }
+  bool push(std::size_t arc, std::span<const std::uint64_t> words) {
+    const std::uint64_t bit = std::uint64_t{1} << (arc & 63);
+    std::uint64_t& mask = present_[arc >> 6];
+    if (mask & bit) return false;
+    mask |= bit;
+    const std::size_t needed = used_words_ + words.size();
+    if (needed > words_.size()) words_.resize(std::max(needed, words_.size() * 2));
+    for (std::size_t k = 0; k < words.size(); ++k) {  // per-word copy, as before
+      words_[used_words_ + k] = words[k];
+    }
+    slots_[arc] = Slot{used_words_, static_cast<std::uint32_t>(words.size())};
+    used_words_ = needed;
+    return true;
+  }
+  bool has(std::size_t arc) const {
+    return (present_[arc >> 6] >> (arc & 63)) & 1u;
+  }
+  std::span<const std::uint64_t> payload(std::size_t arc) const {
+    const Slot& slot = slots_[arc];
+    return {words_.data() + slot.offset, slot.length};
+  }
+};
+
+}  // namespace scalar_arena
+
+struct ArenaWordNumbers {
+  double arena_rounds_per_sec = 0;
+  double replica_rounds_per_sec = 0;
+  double message_arena_word_speedup = 0;
+};
+
+ArenaWordNumbers bench_arena_words(bool smoke) {
+  // A round at realistic shape: 2^15 arcs, ~1/16 of them carrying a
+  // 16-word payload at random positions (random presence defeats the
+  // branch predictor on the per-arc replica scan exactly as thinned-out
+  // algorithm traffic does), pushed then drained with a checksum.
+  constexpr std::size_t kArcs = std::size_t{1} << 15;
+  constexpr std::size_t kPayloadWords = 16;
+  const std::size_t rounds = smoke ? 40 : 600;
+
+  support::Xoshiro256 rng(22);
+  std::vector<std::size_t> send_arcs;
+  for (std::size_t arc = 0; arc < kArcs; ++arc) {
+    if (rng.below(16) == 0) send_arcs.push_back(arc);
+  }
+  std::vector<std::uint64_t> pool(kPayloadWords * 64);
+  for (auto& w : pool) w = rng.next();
+  const auto payload_of = [&](std::size_t arc) {
+    return std::span<const std::uint64_t>(
+        pool.data() + (arc % 64) * kPayloadWords, kPayloadWords);
+  };
+
+  ArenaWordNumbers out;
+  std::uint64_t arena_checksum = 0;
+  std::uint64_t replica_checksum = 0;
+  {
+    local::MessageArena arena;
+    arena.attach(kArcs);
+    const auto start = Clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      arena.begin_round();
+      for (const std::size_t arc : send_arcs) {
+        if (!arena.push(arc, payload_of(arc))) std::abort();
+      }
+      arena.for_each_present(0, kArcs, [&](std::size_t arc) {
+        for (const std::uint64_t w : arena.payload(arc)) arena_checksum += w;
+      });
+      arena_checksum += arena.message_count();
+    }
+    out.arena_rounds_per_sec = static_cast<double>(rounds) / seconds_since(start);
+  }
+  {
+    scalar_arena::Arena arena;
+    arena.attach(kArcs);
+    std::size_t messages = 0;
+    const auto start = Clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      arena.begin_round();
+      messages = 0;
+      for (const std::size_t arc : send_arcs) {
+        if (!arena.push(arc, payload_of(arc))) std::abort();
+        ++messages;
+      }
+      for (std::size_t arc = 0; arc < kArcs; ++arc) {  // per-arc test, as before
+        if (!arena.has(arc)) continue;
+        for (const std::uint64_t w : arena.payload(arc)) replica_checksum += w;
+      }
+      replica_checksum += messages;
+    }
+    out.replica_rounds_per_sec = static_cast<double>(rounds) / seconds_since(start);
+  }
+  if (arena_checksum != replica_checksum) {
+    std::cerr << "bench_regression: message arena word paths diverged from scalar replica\n";
+    std::exit(2);
+  }
+  out.message_arena_word_speedup = out.arena_rounds_per_sec / out.replica_rounds_per_sec;
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// min_radius layer-jump: the batched engine on the cole-vishkin schedule
+// (every vertex waits for a fixed target radius) with the jump on vs off.
+// Outputs and radii must agree bit for bit - the jump only skips evaluate
+// passes the min_radius contract already guarantees are no-ops.
+// ------------------------------------------------------------------------
+
+struct LayerJumpNumbers {
+  double jump_trials_per_sec = 0;
+  double stepwise_trials_per_sec = 0;
+  double layer_jump_speedup = 0;
+};
+
+LayerJumpNumbers bench_layer_jump(std::size_t n, std::size_t trials, std::uint64_t seed) {
+  const auto g = graph::make_cycle(n);
+  const auto factory = algo::make_cole_vishkin_view(n);
+
+  std::vector<graph::IdAssignment> assignments;
+  assignments.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    support::Xoshiro256 rng(support::derive_seed(seed, t));
+    assignments.emplace_back(graph::IdAssignment::random(n, rng));
+  }
+
+  std::vector<std::int64_t> jump_outputs(trials * n), step_outputs(trials * n);
+  std::vector<std::uint32_t> jump_radii(trials * n), step_radii(trials * n);
+  const auto run_leg = [&](bool jump, std::vector<std::int64_t>& outputs,
+                           std::vector<std::uint32_t>& radii) {
+    local::ViewEngineOptions options;
+    options.layer_jump = jump;
+    const auto start = Clock::now();
+    local::run_views_batched(g, assignments, factory, options,
+                             [&](std::size_t, std::size_t trial, graph::Vertex v,
+                                 std::int64_t output, std::size_t radius) {
+                               outputs[trial * n + v] = output;
+                               radii[trial * n + v] = static_cast<std::uint32_t>(radius);
+                             });
+    return static_cast<double>(trials) / seconds_since(start);
+  };
+
+  LayerJumpNumbers out;
+  out.jump_trials_per_sec = run_leg(true, jump_outputs, jump_radii);
+  out.stepwise_trials_per_sec = run_leg(false, step_outputs, step_radii);
+  if (jump_outputs != step_outputs || jump_radii != step_radii) {
+    std::cerr << "bench_regression: layer-jump path diverged from the stepwise engine\n";
+    std::exit(2);
+  }
+  out.layer_jump_speedup = out.jump_trials_per_sec / out.stepwise_trials_per_sec;
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Per-phase breakdown of the serial batched view sweep, so a future
+// throughput regression names its phase instead of hiding in one number.
+// cv3 rather than largest-id: largest-id declares ids_only_view() and
+// streams assignments without a transpose, which would leave the transpose
+// and lockstep-gather phases permanently at zero here.
+// ------------------------------------------------------------------------
+
+local::BatchPhaseStats bench_phase_breakdown(std::size_t n, std::size_t trials,
+                                             std::uint64_t seed) {
+  const auto g = graph::make_cycle(n);
+  const auto factory = algo::make_cole_vishkin_view(n);
+  std::vector<graph::IdAssignment> assignments;
+  assignments.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    support::Xoshiro256 rng(support::derive_seed(seed, t));
+    assignments.emplace_back(graph::IdAssignment::random(n, rng));
+  }
+  local::BatchPhaseStats stats;
+  local::ViewEngineOptions options;
+  options.phase_stats = &stats;
+  std::uint64_t radius_sum = 0;
+  local::run_views_batched(g, assignments, factory, options,
+                           [&](std::size_t, std::size_t, graph::Vertex, std::int64_t,
+                               std::size_t radius) { radius_sum += radius; });
+  if (radius_sum == 0) std::abort();
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -578,6 +888,10 @@ int main(int argc, char** argv) {
   // not per-round throughput.
   const MessageParallelThroughput message_parallel =
       bench_message_parallel(smoke ? engine_n : 10'000, /*rounds=*/smoke ? 16 : 64);
+  const SimdKernelNumbers simd_kernels = bench_lockstep_gather(smoke);
+  const ArenaWordNumbers arena_words = bench_arena_words(smoke);
+  const LayerJumpNumbers layer_jump = bench_layer_jump(n, trials, /*seed=*/42);
+  const local::BatchPhaseStats phases = bench_phase_breakdown(n, trials, /*seed=*/42);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -587,6 +901,11 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.key("bench").value("core");
   json.key("mode").value(smoke ? "smoke" : "full");
+  json.key("machine").begin_object();
+  json.key("simd_isa").value(support::simd::active_isa());
+  json.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.end_object();
   json.key("view_sweep").begin_object();
   json.key("topology").value("ring");
   json.key("algorithm").value("largest_id");
@@ -600,6 +919,13 @@ int main(int argc, char** argv) {
   json.key("serial_speedup_vs_legacy").value(serial_ratio);
   json.key("pooled_speedup_vs_legacy").value(pooled_ratio);
   json.key("batched_sweep_speedup_vs_per_trial").value(batched_ratio);
+  json.key("phase_breakdown").begin_object();
+  json.key("algorithm").value("cole_vishkin");
+  json.key("transpose_sec").value(phases.transpose_sec);
+  json.key("grow_sec").value(phases.grow_sec);
+  json.key("gather_sec").value(phases.gather_sec);
+  json.key("eval_sec").value(phases.eval_sec);
+  json.end_object();
   json.end_object();
   json.key("scenario_layer").begin_object();
   json.key("direct_trials_per_sec").value(dispatch.direct_trials_per_sec);
@@ -629,6 +955,20 @@ int main(int argc, char** argv) {
   json.key("parallel_pooled_trials_per_sec").value(message_parallel.pooled_trials_per_sec);
   json.key("parallel_speedup").value(message_parallel.parallel_speedup);
   json.key("parallel_workers").value(static_cast<std::uint64_t>(message_parallel.pool_workers));
+  json.end_object();
+  json.key("simd_kernels").begin_object();
+  json.key("gather_vector_elems_per_sec").value(simd_kernels.gather_vector_elems_per_sec);
+  json.key("gather_scalar_elems_per_sec").value(simd_kernels.gather_scalar_elems_per_sec);
+  json.key("lockstep_gather_speedup").value(simd_kernels.lockstep_gather_speedup);
+  json.key("arena_rounds_per_sec").value(arena_words.arena_rounds_per_sec);
+  json.key("arena_replica_rounds_per_sec").value(arena_words.replica_rounds_per_sec);
+  json.key("message_arena_word_speedup").value(arena_words.message_arena_word_speedup);
+  json.end_object();
+  json.key("layer_jump").begin_object();
+  json.key("algorithm").value("cole_vishkin");
+  json.key("jump_trials_per_sec").value(layer_jump.jump_trials_per_sec);
+  json.key("stepwise_trials_per_sec").value(layer_jump.stepwise_trials_per_sec);
+  json.key("layer_jump_speedup").value(layer_jump.layer_jump_speedup);
   json.end_object();
   json.end_object();
 
@@ -675,6 +1015,22 @@ int main(int argc, char** argv) {
     std::cerr << "bench_regression: parallel message sweep speedup "
               << message_parallel.parallel_speedup << " < 1.5\n";
     return 8;
+  }
+  // The SIMD kernels' reason to exist. On scalar-only hosts (or forced-
+  // scalar builds) both legs run the same code, so the gate needs a vector
+  // ISA; the bit-identity checks above ran regardless.
+  if (!smoke && std::string_view(support::simd::active_isa()) != "scalar" &&
+      simd_kernels.lockstep_gather_speedup < 1.5) {
+    std::cerr << "bench_regression: lockstep gather speedup "
+              << simd_kernels.lockstep_gather_speedup << " < 1.5\n";
+    return 9;
+  }
+  // The arena's word paths (memcpy + ctz scans) beat the per-word replica
+  // on every ISA - this gate holds in forced-scalar builds too.
+  if (!smoke && arena_words.message_arena_word_speedup < 1.2) {
+    std::cerr << "bench_regression: message arena word speedup "
+              << arena_words.message_arena_word_speedup << " < 1.2\n";
+    return 10;
   }
   return 0;
 }

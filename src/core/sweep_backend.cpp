@@ -39,8 +39,9 @@ struct MessagePointState final : BackendPointState {
 
 }  // namespace
 
-ViewBackend::ViewBackend(AlgorithmProvider algorithms, local::ViewSemantics semantics)
-    : algorithms_(std::move(algorithms)), semantics_(semantics) {
+ViewBackend::ViewBackend(AlgorithmProvider algorithms, local::ViewSemantics semantics,
+                         bool layer_jump)
+    : algorithms_(std::move(algorithms)), semantics_(semantics), layer_jump_(layer_jump) {
   AVGLOCAL_EXPECTS(static_cast<bool>(algorithms_));
 }
 
@@ -70,6 +71,7 @@ void ViewBackend::run_batch(BackendPointState& state, std::span<const graph::IdA
   local::ViewEngineOptions engine;
   engine.semantics = semantics_;
   engine.pool = pool;
+  engine.layer_jump = layer_jump_;
 
   local::run_views_batched(
       *view_state.g, batch, view_state.factory, engine,

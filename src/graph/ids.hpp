@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "support/aligned.hpp"
 #include "support/rng.hpp"
 
 namespace avglocal::graph {
@@ -53,9 +54,12 @@ class IdAssignment {
   /// Trusted path: skips the duplicate check in release builds (a debug
   /// assert keeps the contract honest). Used by identity/reversed/random,
   /// whose outputs are permutations by construction.
-  IdAssignment(std::vector<std::uint64_t> ids, Trusted);
+  IdAssignment(support::AlignedVector<std::uint64_t> ids, Trusted);
 
-  std::vector<std::uint64_t> ids_;
+  /// Storage is 64-byte aligned: ids() is the source array of the batched
+  /// engine's SIMD transpose/gather kernels (support/simd.hpp), which
+  /// assume cache-line-aligned row bases.
+  support::AlignedVector<std::uint64_t> ids_;
 };
 
 }  // namespace avglocal::graph

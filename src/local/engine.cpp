@@ -39,16 +39,22 @@ class Engine {
       algorithms_.push_back(factory_());
       AVGLOCAL_REQUIRE_MSG(algorithms_.back() != nullptr, "algorithm factory returned null");
     }
-    // in_slot_[arc(v, q)]: the sender-side arc whose payload arrives at v on
-    // port q - the mirror arc, resolved once via the graph's O(1) table.
-    // 32 bits per entry (the builder rejects graphs over 2^32 arcs).
-    in_slot_.resize(g.arc_count());
+    // mirror_arc_[arc(v, q)] = arc(u, mirror_port(v, q)): the receiver-side
+    // arc of a send from v on port q, resolved once via the graph's O(1)
+    // table. Sends push straight to this slot, so each round's delivery at
+    // a vertex is a wide bitmask scan over its own contiguous arc window -
+    // no indirection per arc on the read side. 32 bits per entry (the
+    // builder rejects graphs over 2^32 arcs).
+    mirror_arc_.resize(g.arc_count());
     for (graph::Vertex v = 0; v < n; ++v) {
       for (std::size_t q = 0; q < g.degree(v); ++q) {
         const graph::Vertex u = g.neighbour(v, q);
-        in_slot_[g.arc_index(v, q)] =
+        mirror_arc_[g.arc_index(v, q)] =
             static_cast<std::uint32_t>(g.arc_index(u, g.mirror_port(v, q)));
       }
+    }
+    for (graph::Vertex v = 0; v < n; ++v) {
+      contexts_[v].mirror_arcs_ = mirror_arc_.data() + contexts_[v].arc_base_;
     }
     arena_a_.attach(g.arc_count());
     arena_b_.attach(g.arc_count());
@@ -119,18 +125,18 @@ class Engine {
         const std::size_t degree = g_->degree(v);
         const std::size_t arc_base = contexts_[v].arc_base_;
         std::size_t count = 0;
-        for (std::size_t q = 0; q < degree; ++q) {
-          const std::size_t slot = in_slot_[arc_base + q];
-          if (!delivering_->has(slot)) continue;
-          const auto words = delivering_->payload(slot);
-          // Zero-copy delivery: the span aliases the delivering arena,
-          // which no algorithm can write this round (sends go to the other
-          // buffer), and the Message contract bounds its lifetime to
-          // on_round.
-          inbox_[count].from_port = q;
-          inbox_[count].payload = words;
+        // Sends landed in the receiver's own arc window (see mirror_arc_),
+        // so draining is one wide presence scan over [arc_base, arc_base +
+        // degree): a bitmask word per 64 ports, count_trailing_zeros per
+        // message - never a per-port test. Zero-copy delivery: the payload
+        // span aliases the delivering arena, which no algorithm can write
+        // this round (sends go to the other buffer), and the Message
+        // contract bounds its lifetime to on_round.
+        delivering_->for_each_present(arc_base, arc_base + degree, [&](std::size_t arc) {
+          inbox_[count].from_port = arc - arc_base;
+          inbox_[count].payload = delivering_->payload(arc);
           ++count;
-        }
+        });
         contexts_[v].round_ = round;
         const bool had_output = contexts_[v].has_output();
         algorithms_[v]->on_round(contexts_[v], {inbox_.data(), count});
@@ -171,7 +177,7 @@ class Engine {
   EngineOptions options_;
   std::vector<NodeContext> contexts_;
   std::vector<std::unique_ptr<Algorithm>> algorithms_;
-  std::vector<std::uint32_t> in_slot_;  // per arc: mirror arc to read from
+  std::vector<std::uint32_t> mirror_arc_;  // per arc: receiver-side slot of a send
   MessageArena arena_a_;
   MessageArena arena_b_;
   MessageArena* outgoing_ = nullptr;    // collects this round's sends

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace avglocal::local {
 
@@ -35,7 +36,9 @@ bool MessageArena::push(std::size_t arc, std::span<const std::uint64_t> words) {
     // seen, which is what makes rounds allocation-free at steady state.
     words_.resize(std::max(needed, words_.size() * 2));
   }
-  std::copy(words.begin(), words.end(), words_.begin() + static_cast<std::ptrdiff_t>(used_words_));
+  // Bulk word move (memcpy-class), not a per-word loop: payloads are raw
+  // uint64 words with no construction semantics.
+  support::simd::copy_words(words_.data() + used_words_, words.data(), words.size());
   slots_[arc] = Slot{used_words_, static_cast<std::uint32_t>(words.size())};
   used_words_ = needed;
   ++messages_;

@@ -11,7 +11,10 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "support/simd.hpp"
 
 namespace avglocal::local {
 
@@ -36,6 +39,16 @@ class MessageArena {
   std::span<const std::uint64_t> payload(std::size_t arc) const noexcept {
     const Slot& slot = slots_[arc];
     return {words_.data() + slot.offset, slot.length};
+  }
+
+  /// Invokes fn(arc) for every message-bearing arc in [arc_begin, arc_end),
+  /// ascending. A wide scan over the presence bitmask - one load per 64
+  /// arcs, one count_trailing_zeros per message - instead of a per-arc
+  /// has() test; this is how the engine drains a vertex's contiguous
+  /// receive window each round.
+  template <typename Fn>
+  void for_each_present(std::size_t arc_begin, std::size_t arc_end, Fn&& fn) const {
+    support::simd::for_each_set_bit(present_.data(), arc_begin, arc_end, std::forward<Fn>(fn));
   }
 
   /// Messages pushed since begin_round.

@@ -8,8 +8,11 @@ namespace avglocal::local {
 
 void NodeContext::send(std::size_t port, std::span<const std::uint64_t> payload) {
   if (port >= degree_) throw std::invalid_argument("send: port out of range");
-  AVGLOCAL_ASSERT(outgoing_ != nullptr && *outgoing_ != nullptr);
-  if (!(*outgoing_)->push(arc_base_ + port, payload)) {
+  AVGLOCAL_ASSERT(outgoing_ != nullptr && *outgoing_ != nullptr && mirror_arcs_ != nullptr);
+  // Receiver-side slot: port q's payload lands at the mirror arc, so the
+  // receiving node drains one contiguous arc window. The mirror mapping is
+  // a bijection on arcs, so the one-message-per-port rule is unchanged.
+  if (!(*outgoing_)->push(mirror_arcs_[port], payload)) {
     throw std::invalid_argument("send: one message per port per round");
   }
 }

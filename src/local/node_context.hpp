@@ -67,6 +67,11 @@ class NodeContext {
   /// engine retargets the pointee when it flips its double buffer.
   MessageArena* const* outgoing_ = nullptr;
   std::size_t arc_base_ = 0;  ///< Graph::arc_index(v, 0) of this node.
+  /// Engine-owned mirror-arc table at this node's arc base:
+  /// mirror_arcs_[q] is the receiver-side arc of a send on port q. Sends
+  /// push straight to the receiver's slot, so each round's delivery is a
+  /// wide bitmask scan over the receiver's contiguous arc window.
+  const std::uint32_t* mirror_arcs_ = nullptr;
   std::optional<std::int64_t> output_;
   std::size_t output_round_ = 0;
 };

@@ -1,11 +1,14 @@
 #include "local/view_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "support/aligned.hpp"
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace avglocal::local {
 
@@ -63,8 +66,8 @@ struct TrialSlot {
   std::uint32_t trial = 0;
   std::uint32_t min_radius = 0;  ///< cached ViewAlgorithm::min_radius()
   std::unique_ptr<ViewAlgorithm> algorithm;
-  std::array<std::uint64_t, kInlineIds> inline_ids;
-  std::vector<std::uint64_t> spill;
+  alignas(support::kCacheLine) std::array<std::uint64_t, kInlineIds> inline_ids;
+  support::AlignedVector<std::uint64_t> spill;
 
   /// Storage holding `have` gathered identifiers, grown to hold `want`.
   std::uint64_t* ids_for(std::size_t have, std::size_t want) {
@@ -91,7 +94,7 @@ struct BatchedWorker {
   std::vector<std::uint64_t*> heads;   // lockstep: per-active id buffers during a gather
   std::vector<std::uint32_t> prefix;   // prefix[r] = |ball| at radius r (current vertex)
   std::size_t covers_radius = 0;       // first covering radius; SIZE_MAX until known
-  std::vector<std::uint64_t> seq_ids;  // sequential: the live trial's identifiers
+  support::AlignedVector<std::uint64_t> seq_ids;  // sequential: the live trial's identifiers
   BallView seq_view;                   // sequential: ids-only view handed to on_view
   std::unique_ptr<ViewAlgorithm> seq_algorithm;  // sequential: reused across runs
 
@@ -120,6 +123,27 @@ struct BatchedWorker {
   }
 };
 
+/// Chained phase stopwatch: lap(&BatchPhaseStats::field) adds the time
+/// since the previous lap to that field and restarts. A null stats pointer
+/// turns every call into a no-op, keeping the hot loops branch-cheap when
+/// nobody is measuring.
+struct PhaseTimer {
+  using Clock = std::chrono::steady_clock;
+  BatchPhaseStats* stats;
+  Clock::time_point mark;
+
+  explicit PhaseTimer(BatchPhaseStats* s) : stats(s) {
+    if (stats != nullptr) mark = Clock::now();
+  }
+
+  void lap(double BatchPhaseStats::* field) {
+    if (stats == nullptr) return;
+    const auto now = Clock::now();
+    stats->*field += std::chrono::duration<double>(now - mark).count();
+    mark = now;
+  }
+};
+
 /// Sequential mode, for algorithms declaring ids_only_view(): one
 /// (vertex, assignment) run at a time, start to finish. The ball geometry
 /// is still grown once per vertex (lazily, to the deepest radius any
@@ -134,6 +158,7 @@ void run_sequential_range(const graph::Graph& g, BatchedWorker& state,
                           std::size_t worker, graph::Vertex begin, graph::Vertex end,
                           const BatchedResultFn& sink) {
   const std::size_t cap = options.max_radius == 0 ? g.vertex_count() : options.max_radius;
+  PhaseTimer timer(options.phase_stats);
   for (graph::Vertex v = begin; v < end; ++v) {
     state.reroot(v);
     for (std::size_t trial = 0; trial < batch.size(); ++trial) {
@@ -157,6 +182,7 @@ void run_sequential_range(const graph::Graph& g, BatchedWorker& state,
           state.seq_view.covers_graph = covers;
           if (const auto output = algorithm.on_view(state.seq_view)) {
             sink(worker, trial, v, *output, rho);
+            timer.lap(&BatchPhaseStats::eval_sec);
             break;
           }
         }
@@ -164,23 +190,21 @@ void run_sequential_range(const graph::Graph& g, BatchedWorker& state,
           throw std::runtime_error(
               "view engine: radius cap exceeded (non-terminating algorithm?)");
         }
+        timer.lap(&BatchPhaseStats::eval_sec);
         ++rho;
         while (static_cast<std::size_t>(state.grower.view().radius) < rho) state.grow_once();
+        timer.lap(&BatchPhaseStats::grow_sec);
         const std::size_t s_rho = state.prefix[rho];
         const std::span<const graph::Vertex> globals = state.grower.global_vertices();
         state.seq_ids.resize(s_rho);
-        for (std::size_t i = filled; i < s_rho; ++i) state.seq_ids[i] = sigma[globals[i]];
+        support::simd::gather_u64(state.seq_ids.data() + filled, sigma.data(),
+                                  globals.data() + filled, s_rho - filled);
         filled = s_rho;
+        timer.lap(&BatchPhaseStats::gather_sec);
       }
     }
   }
 }
-
-/// Below this many in-flight trials the lockstep layer gather switches from
-/// the transpose rows to the survivors' own assignment arrays (see the
-/// gather comment in the loop). Around the L1 stream budget of current
-/// cores.
-constexpr std::size_t kRowGatherMinActive = 64;
 
 /// Lockstep mode, for algorithms that read full views (ports, dist): every
 /// assignment of the batch advances in step over one shared ball. At equal
@@ -190,22 +214,26 @@ constexpr std::size_t kRowGatherMinActive = 64;
 /// trial pays an id gather and its algorithm; the BFS runs once per vertex,
 /// up to the deepest radius any trial of the batch needs.
 ///
-/// `row_ids` is the row-major transpose of the batch (row_ids[v * trials +
-/// t] = assignment t's identifier of vertex v): gathering one ball vertex's
+/// `row_ids` is the row-major transpose of the batch (row_ids[v * row_stride
+/// + t] = assignment t's identifier of vertex v; row_stride >= trials is
+/// padded so every row starts on a cache line): gathering one ball vertex's
 /// identifier for every active trial then reads one contiguous row instead
 /// of touching `trials` separate arrays - with hundreds of assignments in
 /// flight, that stream locality is what keeps the gather from going
-/// memory-bound.
+/// memory-bound. The row gather and the straggler/sequential gathers run
+/// through the SIMD kernels of support/simd.hpp (bit-identical to their
+/// scalar references by construction).
 void run_batched_range(const graph::Graph& g, BatchedWorker& state,
                        std::span<const graph::IdAssignment> batch,
-                       std::span<const std::uint64_t> row_ids, std::size_t trials,
-                       const ViewAlgorithmFactory& factory, const ViewEngineOptions& options,
-                       std::size_t worker, graph::Vertex begin, graph::Vertex end,
-                       const BatchedResultFn& sink) {
+                       std::span<const std::uint64_t> row_ids, std::size_t row_stride,
+                       std::size_t trials, const ViewAlgorithmFactory& factory,
+                       const ViewEngineOptions& options, std::size_t worker, graph::Vertex begin,
+                       graph::Vertex end, const BatchedResultFn& sink) {
   const std::size_t cap = options.max_radius == 0 ? g.vertex_count() : options.max_radius;
+  PhaseTimer timer(options.phase_stats);
   for (graph::Vertex v = begin; v < end; ++v) {
     state.reroot(v);
-    const std::uint64_t* root_row = row_ids.data() + static_cast<std::size_t>(v) * trials;
+    const std::uint64_t* root_row = row_ids.data() + static_cast<std::size_t>(v) * row_stride;
 
     // Evaluates one slot at the current radius: point the shared view's
     // identifier span at the trial's buffer (two words; grow() re-points it
@@ -237,14 +265,41 @@ void run_batched_range(const graph::Graph& g, BatchedWorker& state,
         state.active.push_back(static_cast<std::uint32_t>(k));
       }
     }
+    timer.lap(&BatchPhaseStats::eval_sec);
 
     while (!state.active.empty()) {
+      // Layer-jump target: the smallest min_radius any surviving trial
+      // declares. Below it (and before coverage) the per-layer evaluate
+      // pass is a guaranteed no-op - see ViewEngineOptions::layer_jump -
+      // so the engine may grow straight through those layers and gather
+      // them in one fused pass below.
+      std::size_t jump_target = 0;
+      if (options.layer_jump) {
+        jump_target = SIZE_MAX;
+        for (const std::uint32_t k : state.active) {
+          jump_target = std::min(jump_target, static_cast<std::size_t>(state.slots[k].min_radius));
+        }
+      }
+
       if (radius >= cap) {
         throw std::runtime_error("view engine: radius cap exceeded (non-terminating algorithm?)");
       }
       // One shared BFS step ...
       state.grow_once();
       ++radius;
+      // ... plus, under the jump, every further layer the stepwise engine
+      // would have grown without a single live evaluate. The cap is checked
+      // per layer and the jump stops at the first covering radius, so
+      // behaviour (including exceptions) matches the stepwise path exactly.
+      while (radius < jump_target && state.covers_radius == SIZE_MAX) {
+        if (radius >= cap) {
+          throw std::runtime_error(
+              "view engine: radius cap exceeded (non-terminating algorithm?)");
+        }
+        state.grow_once();
+        ++radius;
+      }
+      timer.lap(&BatchPhaseStats::grow_sec);
       const std::span<const graph::Vertex> globals = state.grower.global_vertices();
       const std::size_t new_end = globals.size();
 
@@ -265,18 +320,16 @@ void run_batched_range(const graph::Graph& g, BatchedWorker& state,
         for (const std::uint32_t k : state.active) {
           state.heads.push_back(state.slots[k].ids_for(ball_end, new_end));
         }
-        for (std::size_t i = ball_end; i < new_end; ++i) {
-          const std::uint64_t* row =
-              row_ids.data() + static_cast<std::size_t>(globals[i]) * trials;
-          for (std::size_t j = 0; j < in_flight; ++j) {
-            state.heads[j][i] = row[state.active[j]];
-          }
-        }
+        support::simd::layer_gather(row_ids.data(), row_stride, globals.data() + ball_end,
+                                    new_end - ball_end, state.active.data(), in_flight,
+                                    state.heads.data(), ball_end);
         ball_end = new_end;
+        timer.lap(&BatchPhaseStats::gather_sec);
         for (std::size_t j = 0; j < in_flight; ++j) {
           const std::uint32_t k = state.active[j];
           if (!evaluate(state.slots[k], state.heads[j])) state.active[kept++] = k;
         }
+        timer.lap(&BatchPhaseStats::eval_sec);
       } else {
         const std::size_t prev_end = ball_end;
         ball_end = new_end;
@@ -285,8 +338,11 @@ void run_batched_range(const graph::Graph& g, BatchedWorker& state,
           TrialSlot& slot = state.slots[k];
           const std::span<const std::uint64_t> sigma = batch[slot.trial].ids();
           std::uint64_t* ids = slot.ids_for(prev_end, new_end);
-          for (std::size_t i = prev_end; i < new_end; ++i) ids[i] = sigma[globals[i]];
+          support::simd::gather_u64(ids + prev_end, sigma.data(), globals.data() + prev_end,
+                                    new_end - prev_end);
+          timer.lap(&BatchPhaseStats::gather_sec);
           if (!evaluate(slot, ids)) state.active[kept++] = k;
+          timer.lap(&BatchPhaseStats::eval_sec);
         }
       }
       state.active.resize(kept);
@@ -319,37 +375,47 @@ void run_views_batched(const graph::Graph& g, std::span<const graph::IdAssignmen
 
   // Row-major transpose of the batch for the lockstep gather, shared
   // read-only by all workers (see run_batched_range). Memory: 8 * n *
-  // batch.size() bytes - callers bound it by batching trials (e.g.
-  // BatchedSweepOptions::batch_size). Built in vertex tiles so the strided
-  // write side stays cache-resident. The sequential mode streams the
-  // assignment arrays directly and skips it.
+  // row_stride bytes - callers bound it by batching trials (e.g.
+  // BatchedSweepOptions::batch_size). The stride is `trials` rounded up to
+  // a full cache line of ids, so every row starts 64-byte aligned (the SIMD
+  // kernels' invariant; pad columns are never read). Built in vertex tiles
+  // through the SIMD transpose kernel so the strided side stays
+  // cache-resident. The sequential mode streams the assignment arrays
+  // directly and skips it.
   const std::size_t trials = batch.size();
-  std::vector<std::uint64_t> row_ids;
+  const std::size_t row_stride = (trials + 7) & ~std::size_t{7};
+  support::AlignedVector<std::uint64_t> row_ids;
   if (!ids_only) {
-    row_ids.resize(n * trials);
+    PhaseTimer timer(options.pool == nullptr || options.pool->size() == 1
+                         ? options.phase_stats
+                         : nullptr);
+    row_ids.resize(n * row_stride);
+    AVGLOCAL_ASSERT(support::is_aligned(row_ids.data()));
+    std::vector<const std::uint64_t*> tile_srcs(trials);
     constexpr std::size_t kTransposeTile = 64;
     for (std::size_t v0 = 0; v0 < n; v0 += kTransposeTile) {
       const std::size_t v1 = std::min(n, v0 + kTransposeTile);
-      for (std::size_t t = 0; t < trials; ++t) {
-        const std::span<const std::uint64_t> sigma = batch[t].ids();
-        for (std::size_t v = v0; v < v1; ++v) row_ids[v * trials + t] = sigma[v];
-      }
+      for (std::size_t t = 0; t < trials; ++t) tile_srcs[t] = batch[t].ids().data() + v0;
+      support::simd::transpose_to_rows(row_ids.data() + v0 * row_stride, row_stride,
+                                       tile_srcs.data(), trials, v1 - v0);
     }
+    timer.lap(&BatchPhaseStats::transpose_sec);
   }
 
-  const auto run_range_mode = [&](BatchedWorker& state, std::size_t worker, graph::Vertex b,
-                                  graph::Vertex e) {
+  const auto run_range_mode = [&](BatchedWorker& state, const ViewEngineOptions& opts,
+                                  std::size_t worker, graph::Vertex b, graph::Vertex e) {
     if (ids_only) {
-      run_sequential_range(g, state, batch, factory, options, worker, b, e, sink);
+      run_sequential_range(g, state, batch, factory, opts, worker, b, e, sink);
     } else {
-      run_batched_range(g, state, batch, row_ids, trials, factory, options, worker, b, e, sink);
+      run_batched_range(g, state, batch, row_ids, row_stride, trials, factory, opts, worker, b, e,
+                        sink);
     }
   };
 
   support::ThreadPool* pool = options.pool;
   if (pool == nullptr || pool->size() == 1 || n == 1) {
     BatchedWorker state(g, geometry_ids, options.semantics, trials);
-    run_range_mode(state, 0, 0, static_cast<graph::Vertex>(n));
+    run_range_mode(state, options, 0, 0, static_cast<graph::Vertex>(n));
     return;
   }
 
@@ -360,13 +426,17 @@ void run_views_batched(const graph::Graph& g, std::span<const graph::IdAssignmen
   // Chunks carry batch.size() runs per vertex, so smaller chunks than the
   // single-assignment sweep still amortise the scheduling cursor while
   // balancing the heavy tail.
+  // phase_stats is a serial-path facility: workers would race on the
+  // accumulator, so the parallel sweep runs with it cleared.
+  ViewEngineOptions parallel_options = options;
+  parallel_options.phase_stats = nullptr;
   const std::size_t grain = std::max<std::size_t>(4, n / (16 * pool->size()));
   pool->for_range(n, grain, [&](std::size_t worker, std::size_t begin, std::size_t end) {
     auto& state = states[worker];
     if (!state) {
       state = std::make_unique<BatchedWorker>(g, geometry_ids, options.semantics, trials);
     }
-    run_range_mode(*state, worker, static_cast<graph::Vertex>(begin),
+    run_range_mode(*state, parallel_options, worker, static_cast<graph::Vertex>(begin),
                    static_cast<graph::Vertex>(end));
   });
 }

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace avglocal::support {
@@ -59,13 +60,20 @@ class Xoshiro256 {
 };
 
 /// Fisher-Yates shuffle driven by Xoshiro256 (deterministic across platforms,
-/// unlike std::shuffle whose result is unspecified).
+/// unlike std::shuffle whose result is unspecified). The span form shuffles
+/// any contiguous storage - e.g. the cache-line-aligned id vectors the batch
+/// kernels require - without forcing a std::vector round-trip.
 template <typename T>
-void shuffle(std::vector<T>& values, Xoshiro256& rng) {
+void shuffle(std::span<T> values, Xoshiro256& rng) {
   for (std::size_t i = values.size(); i > 1; --i) {
     const std::size_t j = static_cast<std::size_t>(rng.below(i));
     std::swap(values[i - 1], values[j]);
   }
+}
+
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256& rng) {
+  shuffle(std::span<T>(values), rng);
 }
 
 /// Random permutation of {1, 2, ..., n} (the paper's ID universe).

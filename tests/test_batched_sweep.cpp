@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "algo/cole_vishkin.hpp"
 #include "algo/largest_id.hpp"
+#include "algo/mis_ring.hpp"
 #include "core/batched_sweep.hpp"
 #include "core/runner.hpp"
 #include "core/shard.hpp"
@@ -143,6 +145,74 @@ TEST(RunViewsBatched, ReplayedViewsAreBitIdenticalToGrowerViews) {
     const auto gnp = graph::make_gnp_connected(36, 0.15, rng);
     expect_batched_matches_per_trial(gnp, factory, semantics, 5);
   }
+}
+
+TEST(RunViewsBatched, RowGatherRegimeBoundaryIsBitExact) {
+  // The engine switches between the transposed row-gather kernel and the
+  // per-trial straggler gather at kRowGatherMinActive in-flight trials.
+  // Batch sizes straddling (and exactly hitting) the threshold start on
+  // either side of the boundary and cross it as trials finish; every one
+  // of them must reproduce the per-trial engine bit for bit.
+  const auto g = graph::make_cycle(21);
+  for (const std::size_t trials :
+       {local::kRowGatherMinActive - 1, local::kRowGatherMinActive,
+        local::kRowGatherMinActive + 1, local::kRowGatherMinActive + 37}) {
+    expect_batched_matches_per_trial(g, algo::make_largest_id_view(),
+                                     local::ViewSemantics::kInducedBall, trials);
+  }
+}
+
+TEST(RunViewsBatched, LayerJumpOnAndOffMatchPerTrialRuns) {
+  // The min_radius layer-jump fuses BFS layers whose early-outs cannot
+  // fire; jump on, jump off and the per-trial engine must agree exactly.
+  // cv3 and mis-ring both set min_radius from an n-dependent schedule, so
+  // they exercise multi-layer jumps; largest-id jumps never (min_radius 0).
+  const std::size_t n = 48;
+  const auto g = graph::make_cycle(n);
+  const std::vector<std::pair<const char*, local::ViewAlgorithmFactory>> algos = {
+      {"cv3", algo::make_cole_vishkin_view(n)},
+      {"mis", algo::make_mis_ring_view(n)},
+      {"largest-id", algo::make_largest_id_view()},
+  };
+  const auto batch = random_batch(n, 6, /*seed=*/417);
+  for (const auto& [name, factory] : algos) {
+    local::ViewEngineOptions jump_on;
+    local::ViewEngineOptions jump_off;
+    jump_off.layer_jump = false;
+    const Collected with_jump = collect_batched(g, batch, factory, jump_on);
+    const Collected without = collect_batched(g, batch, factory, jump_off);
+    EXPECT_EQ(with_jump.outputs, without.outputs) << name;
+    EXPECT_EQ(with_jump.radii, without.radii) << name;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const local::RunResult run = local::run_views(g, batch[t], factory, jump_on);
+      EXPECT_EQ(run.outputs, with_jump.outputs[t]) << name << " trial " << t;
+      EXPECT_EQ(run.radii, with_jump.radii[t]) << name << " trial " << t;
+    }
+  }
+}
+
+TEST(RunViewsBatched, PhaseStatsAccumulateOnSerialRuns) {
+  // cv3 is not ids_only, so the batch is transposed and the lockstep path
+  // runs: all four phase timers must have registered wall time.
+  const std::size_t n = 40;
+  const auto g = graph::make_cycle(n);
+  const auto batch = random_batch(n, 8, /*seed=*/62);
+  local::BatchPhaseStats stats;
+  local::ViewEngineOptions options;
+  options.phase_stats = &stats;
+  collect_batched(g, batch, algo::make_cole_vishkin_view(n), options);
+  EXPECT_GT(stats.transpose_sec, 0.0);
+  EXPECT_GT(stats.grow_sec, 0.0);
+  EXPECT_GT(stats.gather_sec, 0.0);
+  EXPECT_GT(stats.eval_sec, 0.0);
+
+  // ids_only algorithms stream assignments directly: no transpose phase.
+  local::BatchPhaseStats seq_stats;
+  options.phase_stats = &seq_stats;
+  collect_batched(g, batch, algo::make_largest_id_view(), options);
+  EXPECT_EQ(seq_stats.transpose_sec, 0.0);
+  EXPECT_GT(seq_stats.grow_sec, 0.0);
+  EXPECT_GT(seq_stats.eval_sec, 0.0);
 }
 
 TEST(RunViewsBatched, PooledSweepIsIdenticalToSerial) {

@@ -1,0 +1,182 @@
+// Pins every SIMD kernel of support/simd.hpp bit-identical to its scalar
+// reference on randomized shapes, including the tile remainders (row counts
+// 0..9 cover the 4-row, 2-row and scalar tails of the AVX2 path) and both
+// column regimes of the layer gather (dense prefix vs scattered survivor
+// indices). Also pins the 64-byte alignment contract of
+// support/aligned.hpp and the bit-scan edge cases of for_each_set_bit.
+//
+// On hosts without a vector ISA (or with AVGLOCAL_SIMD=OFF) the dispatch
+// returns the scalar kernels and these tests compare them to themselves -
+// trivially green, by design: the contract is "dispatch == scalar"
+// wherever the suite runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "support/aligned.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace {
+
+using namespace avglocal;
+namespace simd = support::simd;
+
+std::vector<std::uint64_t> random_words(std::size_t count, support::Xoshiro256& rng) {
+  std::vector<std::uint64_t> words(count);
+  for (auto& w : words) w = rng.next();
+  return words;
+}
+
+TEST(Simd, ActiveIsaIsKnown) {
+  const std::string isa = simd::active_isa();
+  EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "scalar") << isa;
+#ifdef AVGLOCAL_SIMD_DISABLE
+  EXPECT_EQ(isa, "scalar") << "forced-scalar builds must report scalar";
+#endif
+}
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  // Every capacity, including after growth: the allocator fixes alignment,
+  // not luck.
+  for (const std::size_t count : {1u, 7u, 64u, 1000u}) {
+    support::AlignedVector<std::uint64_t> v(count);
+    EXPECT_TRUE(support::is_aligned(v.data())) << "count " << count;
+    v.resize(count * 3 + 1);
+    EXPECT_TRUE(support::is_aligned(v.data())) << "after growth from " << count;
+  }
+  support::AlignedVector<std::uint32_t> u(13);
+  EXPECT_TRUE(support::is_aligned(u.data()));
+}
+
+TEST(Simd, CopyWordsMatchesScalar) {
+  support::Xoshiro256 rng(11);
+  for (const std::size_t count : {0u, 1u, 3u, 8u, 65u, 1024u}) {
+    const auto src = random_words(count, rng);
+    std::vector<std::uint64_t> got(count + 1, 0xAAu), want(count + 1, 0xAAu);
+    simd::copy_words(got.data(), src.data(), count);
+    simd::scalar::copy_words(want.data(), src.data(), count);
+    EXPECT_EQ(got, want) << "count " << count;
+  }
+}
+
+TEST(Simd, GatherU64MatchesScalar) {
+  support::Xoshiro256 rng(12);
+  const auto src = random_words(512, rng);
+  for (const std::size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 63u, 200u}) {
+    std::vector<std::uint32_t> idx(count);
+    for (auto& i : idx) i = static_cast<std::uint32_t>(rng.below(src.size()));
+    std::vector<std::uint64_t> got(count, 0), want(count, 1);
+    simd::gather_u64(got.data(), src.data(), idx.data(), count);
+    simd::scalar::gather_u64(want.data(), src.data(), idx.data(), count);
+    EXPECT_EQ(got, want) << "count " << count;
+  }
+}
+
+TEST(Simd, TransposeToRowsMatchesScalar) {
+  support::Xoshiro256 rng(13);
+  for (const std::size_t rows : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 9u, 64u}) {
+    for (const std::size_t cols : {0u, 1u, 3u, 4u, 6u, 8u, 17u}) {
+      std::vector<std::vector<std::uint64_t>> columns(cols);
+      std::vector<const std::uint64_t*> srcs(cols);
+      for (std::size_t j = 0; j < cols; ++j) {
+        columns[j] = random_words(rows, rng);
+        srcs[j] = columns[j].data();
+      }
+      const std::size_t stride = cols + 3;  // padded stride: pad cols never read
+      std::vector<std::uint64_t> got(rows * stride, 0xBBu), want(rows * stride, 0xBBu);
+      simd::transpose_to_rows(got.data(), stride, srcs.data(), cols, rows);
+      simd::scalar::transpose_to_rows(want.data(), stride, srcs.data(), cols, rows);
+      // Compare only written cells; the pad must be untouched in both.
+      EXPECT_EQ(got, want) << "rows " << rows << " cols " << cols;
+    }
+  }
+}
+
+TEST(Simd, LayerGatherMatchesScalarOnDenseAndScatteredColumns) {
+  support::Xoshiro256 rng(14);
+  constexpr std::size_t kTrials = 96;
+  constexpr std::size_t kStride = 96;  // multiple of 8, as the engine pads
+  constexpr std::size_t kVertices = 40;
+  const auto rows = random_words(kVertices * kStride, rng);
+
+  for (const std::size_t row_count : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 33u}) {
+    for (const bool dense : {true, false}) {
+      for (const std::size_t col_count : {1u, 3u, 4u, 5u, 8u, 64u, 90u}) {
+        std::vector<std::uint32_t> row_index(row_count);
+        for (auto& r : row_index) r = static_cast<std::uint32_t>(rng.below(kVertices));
+        // Dense prefix (the in-flight list before any trial finishes) vs a
+        // random ascending subset (after compaction).
+        std::vector<std::uint32_t> cols(kTrials);
+        std::iota(cols.begin(), cols.end(), 0u);
+        if (!dense) {
+          support::shuffle(cols, rng);
+          cols.resize(col_count);
+          std::sort(cols.begin(), cols.end());
+        } else {
+          cols.resize(col_count);
+        }
+
+        const std::size_t dst_begin = 5;
+        const std::size_t dst_len = dst_begin + row_count;
+        std::vector<std::vector<std::uint64_t>> got_bufs(col_count),
+            want_bufs(col_count);
+        std::vector<std::uint64_t*> got_heads(col_count), want_heads(col_count);
+        for (std::size_t j = 0; j < col_count; ++j) {
+          got_bufs[j].assign(dst_len, 0xCCu);
+          want_bufs[j].assign(dst_len, 0xCCu);
+          got_heads[j] = got_bufs[j].data();
+          want_heads[j] = want_bufs[j].data();
+        }
+        simd::layer_gather(rows.data(), kStride, row_index.data(), row_count, cols.data(),
+                           col_count, got_heads.data(), dst_begin);
+        simd::scalar::layer_gather(rows.data(), kStride, row_index.data(), row_count,
+                                   cols.data(), col_count, want_heads.data(), dst_begin);
+        for (std::size_t j = 0; j < col_count; ++j) {
+          EXPECT_EQ(got_bufs[j], want_bufs[j])
+              << "rows " << row_count << " cols " << col_count << " dense " << dense
+              << " buffer " << j;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> collect_bits(const std::vector<std::uint64_t>& words, std::size_t begin,
+                                      std::size_t end) {
+  std::vector<std::size_t> got;
+  simd::for_each_set_bit(words.data(), begin, end, [&](std::size_t bit) { got.push_back(bit); });
+  return got;
+}
+
+TEST(Simd, ForEachSetBitMatchesPerBitScan) {
+  support::Xoshiro256 rng(15);
+  const auto words = random_words(5, rng);
+  const std::size_t total = words.size() * 64;
+  const std::size_t ranges[][2] = {{0, 0},     {0, 1},   {0, 64},   {0, 128},  {1, 64},
+                                   {63, 64},   {63, 65}, {64, 128}, {10, 250}, {100, 101},
+                                   {128, 192}, {0, total}};
+  for (const auto& [begin, end] : ranges) {
+    std::vector<std::size_t> want;
+    for (std::size_t i = begin; i < end; ++i) {
+      if ((words[i >> 6] >> (i & 63)) & 1u) want.push_back(i);
+    }
+    EXPECT_EQ(collect_bits(words, begin, end), want) << "[" << begin << ", " << end << ")";
+  }
+}
+
+TEST(Simd, ForEachSetBitOnSolidAndEmptyMasks) {
+  const std::vector<std::uint64_t> solid(3, ~std::uint64_t{0});
+  EXPECT_EQ(collect_bits(solid, 0, 192).size(), 192u);
+  EXPECT_EQ(collect_bits(solid, 5, 67).size(), 62u);
+  const std::vector<std::uint64_t> empty(3, 0);
+  EXPECT_TRUE(collect_bits(empty, 0, 192).empty());
+  EXPECT_TRUE(collect_bits(empty, 63, 129).empty());
+}
+
+}  // namespace
