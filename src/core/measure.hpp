@@ -25,6 +25,7 @@
 
 #include "graph/graph.hpp"
 #include "local/metrics.hpp"
+#include "support/annotations.hpp"
 
 namespace avglocal::core {
 
@@ -89,8 +90,9 @@ std::vector<std::pair<graph::Vertex, graph::Vertex>> canonical_edges(const graph
 /// element type: RunResult profiles are size_t, the sweeps' dense radius
 /// matrices uint32).
 template <typename Radii, typename Sink>
-std::uint64_t for_each_edge_time(std::span<const std::pair<graph::Vertex, graph::Vertex>> edges,
-                                 const Radii& radii, Sink&& sink) {
+AVGLOCAL_HOT std::uint64_t for_each_edge_time(
+    std::span<const std::pair<graph::Vertex, graph::Vertex>> edges, const Radii& radii,
+    Sink&& sink) {
   std::uint64_t sum = 0;
   for (const auto& [v, u] : edges) {
     const auto t = static_cast<std::size_t>(std::max(radii[v], radii[u]));

@@ -15,7 +15,7 @@ void MessageArena::attach(std::size_t arc_count) {
   messages_ = 0;
 }
 
-void MessageArena::begin_round() noexcept {
+AVGLOCAL_HOT void MessageArena::begin_round() noexcept {
   std::fill(present_.begin(), present_.end(), 0);
   used_words_ = 0;
   messages_ = 0;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/simd.hpp"
 
 namespace avglocal::local {
@@ -30,13 +31,13 @@ class MessageArena {
   /// this round (one message per port per round).
   bool push(std::size_t arc, std::span<const std::uint64_t> words);
 
-  bool has(std::size_t arc) const noexcept {
+  AVGLOCAL_HOT bool has(std::size_t arc) const noexcept {
     return (present_[arc >> 6] >> (arc & 63)) & 1u;
   }
 
   /// Payload stored in `arc`'s slot; valid only when has(arc), and only
   /// until the next begin_round/attach.
-  std::span<const std::uint64_t> payload(std::size_t arc) const noexcept {
+  AVGLOCAL_HOT std::span<const std::uint64_t> payload(std::size_t arc) const noexcept {
     const Slot& slot = slots_[arc];
     return {words_.data() + slot.offset, slot.length};
   }
@@ -47,7 +48,7 @@ class MessageArena {
   /// has() test; this is how the engine drains a vertex's contiguous
   /// receive window each round.
   template <typename Fn>
-  void for_each_present(std::size_t arc_begin, std::size_t arc_end, Fn&& fn) const {
+  AVGLOCAL_HOT void for_each_present(std::size_t arc_begin, std::size_t arc_end, Fn&& fn) const {
     support::simd::for_each_set_bit(present_.data(), arc_begin, arc_end, std::forward<Fn>(fn));
   }
 

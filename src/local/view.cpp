@@ -25,7 +25,7 @@ std::uint64_t BallView::max_id() const noexcept {
 }
 
 std::optional<RingView> try_extract_ring_view(const BallView& view) {
-  if (view.size() == 0 || view.degree_of(0) != 2) return std::nullopt;
+  if (view.empty() || view.degree_of(0) != 2) return std::nullopt;
 
   // Walks along one direction starting on `first_port` of the root, until an
   // unknown edge, a non-ring vertex, or wrap-around to the root.

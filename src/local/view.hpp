@@ -123,6 +123,7 @@ struct BallView {
   bool covers_graph = false;
 
   std::size_t size() const noexcept { return ids.size(); }
+  bool empty() const noexcept { return ids.empty(); }
   std::uint64_t root_id() const noexcept { return ids[0]; }
   std::size_t degree_of(LocalVertex v) const noexcept { return ports[v].size(); }
 

@@ -1,0 +1,22 @@
+// Source annotations the toolchain and the lint gate both understand.
+//
+// AVGLOCAL_HOT marks a function as a steady-state hot path of the sweep
+// fabric: it runs per round / per layer / per message and must be
+// allocation-free after warm-up. The marker does two jobs at once:
+//   - the compiler sees __attribute__((hot)) and optimises placement
+//     accordingly;
+//   - avglocal_lint (tools/lint) statically rejects allocation-capable
+//     constructs (new, push_back, resize, std::function, ...) inside the
+//     annotated body - including inside nested lambdas - as the
+//     compile-time complement of the runtime support/alloc_hook.hpp
+//     "allocs_per_round_after_warmup == 0" gates.
+//
+// Annotate the steady-state entry points (kernels, drain/scan/gather
+// loops), not the warm-up paths that legitimately size buffers.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AVGLOCAL_HOT __attribute__((hot))
+#else
+#define AVGLOCAL_HOT
+#endif

@@ -15,7 +15,7 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   for (auto& word : s_) word = sm.next();
 }
 
-std::uint64_t Xoshiro256::next() noexcept {
+AVGLOCAL_HOT std::uint64_t Xoshiro256::next() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -27,7 +27,7 @@ std::uint64_t Xoshiro256::next() noexcept {
   return result;
 }
 
-std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+AVGLOCAL_HOT std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);

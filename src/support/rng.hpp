@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "support/annotations.hpp"
+
 namespace avglocal::support {
 
 /// SplitMix64: tiny, fast, passes BigCrush; used for seeding and for cheap
@@ -20,7 +22,7 @@ class SplitMix64 {
   explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
 
   /// Next 64 uniformly distributed bits.
-  std::uint64_t next() noexcept {
+  AVGLOCAL_HOT std::uint64_t next() noexcept {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;

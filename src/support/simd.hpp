@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "support/annotations.hpp"
+
 #if !defined(AVGLOCAL_SIMD_DISABLE) && defined(__x86_64__) && \
     (defined(__GNUC__) || defined(__clang__))
 #define AVGLOCAL_SIMD_X86 1
@@ -317,13 +319,14 @@ inline const char* active_isa() noexcept {
 }
 
 /// Bulk payload copy (non-overlapping). memmove-class on every ISA.
-inline void copy_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t count) {
+AVGLOCAL_HOT inline void copy_words(std::uint64_t* dst, const std::uint64_t* src,
+                                    std::size_t count) {
   if (count != 0) std::memcpy(dst, src, count * sizeof(std::uint64_t));
 }
 
 /// dst[k] = src[idx[k]] for k in [0, count).
-inline void gather_u64(std::uint64_t* dst, const std::uint64_t* src, const std::uint32_t* idx,
-                       std::size_t count) {
+AVGLOCAL_HOT inline void gather_u64(std::uint64_t* dst, const std::uint64_t* src,
+                                    const std::uint32_t* idx, std::size_t count) {
 #if defined(AVGLOCAL_SIMD_X86)
   if (have_avx2()) return avx2::gather_u64(dst, src, idx, count);
 #endif
@@ -331,10 +334,10 @@ inline void gather_u64(std::uint64_t* dst, const std::uint64_t* src, const std::
 }
 
 /// The lockstep layer gather (see scalar::layer_gather for the contract).
-inline void layer_gather(const std::uint64_t* rows, std::size_t row_stride,
-                         const std::uint32_t* row_index, std::size_t row_count,
-                         const std::uint32_t* cols, std::size_t col_count,
-                         std::uint64_t* const* heads, std::size_t dst_begin) {
+AVGLOCAL_HOT inline void layer_gather(const std::uint64_t* rows, std::size_t row_stride,
+                                      const std::uint32_t* row_index, std::size_t row_count,
+                                      const std::uint32_t* cols, std::size_t col_count,
+                                      std::uint64_t* const* heads, std::size_t dst_begin) {
 #if defined(AVGLOCAL_SIMD_X86)
   if (have_avx2()) {
     return avx2::layer_gather(rows, row_stride, row_index, row_count, cols, col_count, heads,
@@ -349,9 +352,9 @@ inline void layer_gather(const std::uint64_t* rows, std::size_t row_stride,
 }
 
 /// Transpose build (see scalar::transpose_to_rows for the contract).
-inline void transpose_to_rows(std::uint64_t* dst, std::size_t dst_stride,
-                              const std::uint64_t* const* srcs, std::size_t col_count,
-                              std::size_t row_count) {
+AVGLOCAL_HOT inline void transpose_to_rows(std::uint64_t* dst, std::size_t dst_stride,
+                                           const std::uint64_t* const* srcs,
+                                           std::size_t col_count, std::size_t row_count) {
 #if defined(AVGLOCAL_SIMD_X86)
   if (have_avx2()) return avx2::transpose_to_rows(dst, dst_stride, srcs, col_count, row_count);
 #elif defined(AVGLOCAL_SIMD_NEON)
@@ -366,8 +369,8 @@ inline void transpose_to_rows(std::uint64_t* dst, std::size_t dst_stride,
 /// per-bit test. This is how the message engine drains a vertex's
 /// contiguous presence window.
 template <typename Fn>
-inline void for_each_set_bit(const std::uint64_t* words, std::size_t begin, std::size_t end,
-                             Fn&& fn) {
+AVGLOCAL_HOT inline void for_each_set_bit(const std::uint64_t* words, std::size_t begin,
+                                          std::size_t end, Fn&& fn) {
   if (begin >= end) return;
   std::size_t w = begin >> 6;
   const std::size_t w_last = (end - 1) >> 6;

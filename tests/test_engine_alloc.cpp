@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -60,6 +63,41 @@ TEST(AllocHook, CountsAllocations) {
   const auto after = support::alloc_counts();
   EXPECT_GT(after.allocations, before.allocations);
   EXPECT_GE(after.bytes - before.bytes, 1024u * sizeof(std::uint64_t));
+}
+
+TEST(AllocHook, ConcurrentCountsAreExact) {
+  // The "allocs_per_round_after_warmup == 0" gates read these counters
+  // around parallel sweeps, so concurrent ticks from every worker lane
+  // must lose no updates. Hammer the hook from several threads and check
+  // the deltas: any dropped increment shows up as a shortfall. (Lower
+  // bounds, not equality - gtest and the thread runtime may allocate
+  // concurrently, which only pushes the counters higher.)
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAllocsPerThread = 2000;
+  constexpr std::size_t kBytesPerAlloc = 64;
+
+  const auto before = support::alloc_counts();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        // The escaping store keeps -O2 from eliding the new/delete pair.
+        volatile std::uintptr_t sink = 0;
+        for (std::size_t i = 0; i < kAllocsPerThread; ++i) {
+          auto* p = new std::array<std::byte, kBytesPerAlloc>();
+          sink = reinterpret_cast<std::uintptr_t>(p);  // avglocal-lint: allow(raw-entropy)
+          delete p;
+        }
+        (void)sink;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const auto after = support::alloc_counts();
+  EXPECT_GE(after.allocations - before.allocations, kThreads * kAllocsPerThread)
+      << "lost increments under concurrent allocation";
+  EXPECT_GE(after.bytes - before.bytes, kThreads * kAllocsPerThread * kBytesPerAlloc);
 }
 
 TEST(MessageEngineAlloc, SteadyStateRoundsAreAllocationFree) {

@@ -1,0 +1,256 @@
+// The determinism-contract linter, pinned three ways:
+//  - every check fires on its fire-fixture with the exact expected
+//    diagnostics, and stays silent on its clean-fixture (a regressed check
+//    fails tier-1 here);
+//  - the whole src/ tree lints clean through the same in-process path the
+//    binary uses (the binary-level gate is the lint_src ctest entry);
+//  - the avglocal_lint binary's CLI contract (exit codes, --list-checks,
+//    compile-database discovery) holds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "checks.hpp"
+#include "compile_commands.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+using namespace avglocal::lint;
+namespace fs = std::filesystem;
+
+const char* const kFixtures = AVGLOCAL_LINT_FIXTURES;
+const char* const kSrcDir = AVGLOCAL_SRC_DIR;
+const char* const kLintBin = AVGLOCAL_LINT_BIN;
+
+std::vector<Diagnostic> lint_fixture(const std::string& rel,
+                                     const std::set<std::string>& enabled = {}) {
+  return run_checks(lex_file(std::string(kFixtures) + "/" + rel), enabled);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout only
+};
+
+RunResult run_binary(const std::string& args) {
+  const std::string cmd = std::string(kLintBin) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunResult r;
+  char buf[4096];
+  while (pipe != nullptr && std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  if (pipe != nullptr) {
+    const int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return r;
+}
+
+std::vector<std::string> check_names(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> names;
+  for (const Diagnostic& d : diags) names.push_back(d.check);
+  return names;
+}
+
+// ------------------------------------------------------------------------
+// Fixture pairs: one fires / does-not-fire pair per custom check.
+// ------------------------------------------------------------------------
+
+TEST(LintFixtures, RawEntropyFires) {
+  const auto diags = lint_fixture("raw_entropy_fire.cpp");
+  ASSERT_EQ(diags.size(), 5u) << "random_device, srand, time, rand, address cast";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "raw-entropy");
+}
+
+TEST(LintFixtures, RawEntropyCleanIsSilent) {
+  // Comments, substring identifiers (rand_index, edge_time) and the
+  // monotonic steady_clock must not fire.
+  EXPECT_TRUE(lint_fixture("raw_entropy_clean.cpp").empty());
+}
+
+TEST(LintFixtures, UnorderedIterationFires) {
+  const auto diags = lint_fixture("unordered_iteration_fire.cpp");
+  ASSERT_EQ(diags.size(), 3u) << "range-for, .begin(), ->begin()";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "unordered-iteration");
+}
+
+TEST(LintFixtures, UnorderedLookupsStayLegal) {
+  EXPECT_TRUE(lint_fixture("unordered_iteration_clean.cpp").empty());
+}
+
+TEST(LintFixtures, FloatAccumulationFiresInsideMerge) {
+  const auto diags = lint_fixture("core/float_accumulation_fire.cpp");
+  ASSERT_EQ(diags.size(), 2u) << "the double declaration and the 0.5 literal";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "float-accumulation");
+}
+
+TEST(LintFixtures, FloatOutsideMergeStaysLegal) {
+  // finalize_mean() computes doubles next to an exact-integer merge/append
+  // pair: only merge bodies are constrained.
+  EXPECT_TRUE(lint_fixture("core/float_accumulation_clean.cpp").empty());
+}
+
+TEST(LintFixtures, HotPathAllocFires) {
+  const auto diags = lint_fixture("hot_path_alloc_fire.cpp");
+  ASSERT_EQ(diags.size(), 5u)
+      << "push_back, new, delete, std::function, push_back inside a nested lambda";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "hot-path-alloc");
+}
+
+TEST(LintFixtures, WarmupAllocationStaysLegal) {
+  // attach() resizes (unannotated warm-up); the AVGLOCAL_HOT drain/gather
+  // bodies only touch pre-sized buffers.
+  EXPECT_TRUE(lint_fixture("hot_path_alloc_clean.cpp").empty());
+}
+
+TEST(LintFixtures, ThreadIdFires) {
+  const auto diags = lint_fixture("thread_id_fire.cpp");
+  ASSERT_EQ(diags.size(), 3u) << "thread::id decl, get_id(), hash<thread::id>";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "thread-id-dependence");
+}
+
+TEST(LintFixtures, WorkerIndexAddressingStaysLegal) {
+  EXPECT_TRUE(lint_fixture("thread_id_clean.cpp").empty());
+}
+
+TEST(LintFixtures, AllowCommentSuppressesBothPlacements) {
+  EXPECT_TRUE(lint_fixture("suppression.cpp").empty());
+}
+
+TEST(LintFixtures, CheckFilterRestrictsToNamedCheck) {
+  // With only thread-id-dependence enabled, the entropy fixture is silent.
+  EXPECT_TRUE(lint_fixture("raw_entropy_fire.cpp", {"thread-id-dependence"}).empty());
+  EXPECT_EQ(lint_fixture("raw_entropy_fire.cpp", {"raw-entropy"}).size(), 5u);
+}
+
+// ------------------------------------------------------------------------
+// Suppression and lexer semantics.
+// ------------------------------------------------------------------------
+
+TEST(LintLexer, CommentsStringsAndPreprocessorAreInvisible) {
+  const SourceFile f = lex("probe.cpp",
+                           "// std::rand() in a comment\n"
+                           "#define SEED std::rand()\n"
+                           "const char* s = \"std::rand()\";\n");
+  EXPECT_TRUE(run_checks(f, {}).empty());
+}
+
+TEST(LintLexer, WildcardAllowSuppressesEveryCheck) {
+  const SourceFile f = lex("probe.cpp",
+                           "unsigned f() {\n"
+                           "  return rand();  // avglocal-lint: allow(*)\n"
+                           "}\n");
+  EXPECT_TRUE(run_checks(f, {}).empty());
+}
+
+TEST(LintLexer, AllowOnlySilencesTheNamedCheck) {
+  const SourceFile f = lex("probe.cpp",
+                           "unsigned f() {\n"
+                           "  // avglocal-lint: allow(unordered-iteration)\n"
+                           "  return rand();\n"
+                           "}\n");
+  const auto diags = run_checks(f, {});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "raw-entropy");
+}
+
+TEST(LintChecks, DiagnosticsCarryPositionsAndFormat) {
+  const SourceFile f = lex("dir/probe.cpp", "int seed = rand();\n");
+  const auto diags = run_checks(f, {});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 1u);
+  EXPECT_EQ(diags[0].col, 12u);
+  const std::string text = format(diags[0]);
+  EXPECT_NE(text.find("dir/probe.cpp:1:12: warning:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[raw-entropy]"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------------------
+// The real gate: all of src/ is clean under every check.
+// ------------------------------------------------------------------------
+
+TEST(LintSrcTree, EntireSourceTreeIsClean) {
+  const std::vector<std::string> files = files_from_tree(kSrcDir);
+  ASSERT_GT(files.size(), 80u) << "src/ discovery looks broken";
+  std::string report;
+  std::size_t count = 0;
+  for (const std::string& path : files) {
+    for (const Diagnostic& d : run_checks(lex_file(path), {})) {
+      report += format(d) + "\n";
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 0u) << report;
+}
+
+// ------------------------------------------------------------------------
+// Binary-level CLI contract.
+// ------------------------------------------------------------------------
+
+TEST(LintBinary, ListChecksNamesEveryCheck) {
+  const RunResult r = run_binary("--list-checks");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_GE(all_checks().size(), 5u);
+  for (const CheckInfo& c : all_checks()) {
+    EXPECT_NE(r.output.find(c.name), std::string::npos) << c.name;
+  }
+}
+
+TEST(LintBinary, ExitCodesEncodeTheVerdict) {
+  const std::string fire = std::string(kFixtures) + "/raw_entropy_fire.cpp";
+  const std::string clean = std::string(kFixtures) + "/raw_entropy_clean.cpp";
+  EXPECT_EQ(run_binary(clean).exit_code, 0);
+  const RunResult r = run_binary(fire);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[raw-entropy]"), std::string::npos) << r.output;
+  EXPECT_EQ(run_binary("--no-such-flag").exit_code, 2);
+  EXPECT_EQ(run_binary("--checks=no-such-check " + clean).exit_code, 2);
+}
+
+TEST(LintBinary, CompileDatabaseDiscoveryFiltersToProjectSources) {
+  const fs::path tmp = fs::temp_directory_path() / "avglocal_lint_db_test";
+  fs::create_directories(tmp / "src");
+  const fs::path src_file = tmp / "src" / "probe.cpp";
+  std::ofstream(src_file) << "unsigned f() { return rand(); }\n";
+  const fs::path other = tmp / "vendored.cpp";
+  std::ofstream(other) << "unsigned g() { return rand(); }\n";
+  std::ofstream(tmp / "compile_commands.json")
+      << "[{\"directory\": \"" << tmp.string() << "\", \"command\": \"c++ -c src/probe.cpp\", "
+      << "\"file\": \"src/probe.cpp\"},\n"
+      << " {\"directory\": \"" << tmp.string() << "\", \"command\": \"c++ -c vendored.cpp\", "
+      << "\"file\": \"" << other.string() << "\"}]\n";
+
+  const std::vector<std::string> files = files_from_compile_commands(tmp.string());
+  ASSERT_EQ(files.size(), 1u) << "only TUs under src/ are linted";
+  EXPECT_EQ(files[0], src_file.lexically_normal().string());
+
+  // End to end through the binary: the database path fires on the probe.
+  const RunResult r = run_binary("-p " + tmp.string());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("probe.cpp"), std::string::npos) << r.output;
+  fs::remove_all(tmp);
+}
+
+TEST(LintChecks, FireFixturesFireOnlyTheirOwnCheck) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"raw_entropy_fire.cpp", "raw-entropy"},
+      {"unordered_iteration_fire.cpp", "unordered-iteration"},
+      {"core/float_accumulation_fire.cpp", "float-accumulation"},
+      {"hot_path_alloc_fire.cpp", "hot-path-alloc"},
+      {"thread_id_fire.cpp", "thread-id-dependence"},
+  };
+  for (const auto& [fixture, check] : cases) {
+    for (const std::string& name : check_names(lint_fixture(fixture))) {
+      EXPECT_EQ(name, check) << fixture;
+    }
+  }
+}
+
+}  // namespace

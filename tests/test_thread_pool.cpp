@@ -82,6 +82,66 @@ TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Shutdown / task-handoff stress. These exist to give ThreadSanitizer (the
+// tsan CI job builds this suite with -fsanitize=thread) a dense schedule
+// to chew on: pool construction and destruction race worker wake-up, the
+// destructor races the tail of the last job, and exception unwinding races
+// the cursor drain. A clean run pins the pool's happens-before structure.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolStress, ConstructionDestructionChurnUnderLoad) {
+  // Spin pools up and down with real work in between: the destructor must
+  // always observe fully parked helpers, never a worker still reading job
+  // state. 60 pools x up to 4 helpers each.
+  std::atomic<std::uint64_t> total{0};
+  for (std::size_t round = 0; round < 60; ++round) {
+    ThreadPool pool(1 + round % 4);
+    pool.for_range(97, 5, [&](std::size_t, std::size_t begin, std::size_t end) {
+      std::uint64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += i;
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 60u * (97u * 96u / 2));
+}
+
+TEST(ThreadPoolStress, ImmediateDestructionAfterConstruction) {
+  // Destruction may run before a helper has even reached its first wait;
+  // the stopping_ flag handshake must cover that window too.
+  for (std::size_t round = 0; round < 200; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+  }
+}
+
+TEST(ThreadPoolStress, BackToBackJobsReuseHelpersSafely) {
+  // Many tiny generations through one pool: each for_range hands the job
+  // state to helpers afresh, and the previous job's teardown must be
+  // complete before the next publishes new state.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> ticks{0};
+  for (std::size_t job = 0; job < 500; ++job) {
+    pool.for_range(8, 1, [&](std::size_t, std::size_t, std::size_t) {
+      ticks.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(ticks.load(), 500u * 8u);
+}
+
+TEST(ThreadPoolStress, ExceptionUnwindingRacesAreClean) {
+  // A throwing chunk drains the cursor while other workers are mid-chunk;
+  // destruction immediately afterwards must still join cleanly.
+  for (std::size_t round = 0; round < 40; ++round) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.for_range(64, 1,
+                                [&](std::size_t, std::size_t begin, std::size_t) {
+                                  if (begin == 32) throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+  }
+}
+
 TEST(ThreadPool, NestedForRangeThrowsInsteadOfCorrupting) {
   ThreadPool pool(2);
   EXPECT_THROW(

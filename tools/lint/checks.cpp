@@ -1,0 +1,487 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <unordered_set>
+
+namespace avglocal::lint {
+namespace {
+
+bool path_contains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool is_float_literal(const std::string& text) {
+  const bool hex = text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  if (hex) return text.find('p') != std::string::npos || text.find('P') != std::string::npos;
+  if (text.find('.') != std::string::npos) return true;
+  return text.find('e') != std::string::npos || text.find('E') != std::string::npos;
+}
+
+// ------------------------------------------------------------------------
+// Function structure recovery.
+//
+// The float-accumulation and hot-path-alloc checks need to know which
+// tokens live inside which function body. A brace-matching pass classifies
+// each `{`: a brace preceded (modulo trailing qualifiers and a trailing
+// return type) by a balanced `(...)` parameter list is a function body; the
+// identifier before the `(` is the function's name, and the tokens between
+// the previous statement boundary and the `(` are its declaration head,
+// where an AVGLOCAL_HOT annotation would sit. Lambdas are bodies too (name
+// "<lambda>"); a lambda inside a hot function inherits hotness, so hiding
+// an allocation in a nested lambda still fires.
+// ------------------------------------------------------------------------
+
+struct FunctionSpan {
+  std::string name;        ///< unqualified name, or "<lambda>"
+  bool hot = false;        ///< declaration head contains AVGLOCAL_HOT
+  std::size_t body_begin;  ///< token index of `{`
+  std::size_t body_end;    ///< token index one past the matching `}`
+};
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+const std::unordered_set<std::string> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof", "decltype",
+};
+
+std::vector<FunctionSpan> index_functions(const std::vector<Token>& toks) {
+  std::vector<FunctionSpan> spans;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "{")) continue;
+
+    // Walk back over tokens that may legally sit between the parameter
+    // list and the body: cv/ref qualifiers, noexcept(...), a trailing
+    // return type, and constructor init lists. Bounded window so a
+    // pathological file cannot go quadratic.
+    std::size_t k = i;
+    std::size_t paren = 0;
+    bool found_params = false;
+    std::size_t lparen = 0;
+    for (std::size_t steps = 0; k > 0 && steps < 256; ++steps) {
+      --k;
+      const Token& t = toks[k];
+      if (is_punct(t, ")")) {
+        ++paren;
+      } else if (is_punct(t, "(")) {
+        if (paren == 0) break;  // unbalanced: inside an initializer
+        --paren;
+        if (paren == 0) {
+          found_params = true;
+          lparen = k;
+          break;
+        }
+      } else if (paren == 0) {
+        // Between `)` and `{` only qualifier-ish tokens may appear:
+        // identifiers cover cv/ref/noexcept qualifiers, trailing return
+        // types and ctor init-list member names; the punctuator list
+        // covers "->", "::", template angles and init-list braces.
+        const bool ok = t.kind == TokenKind::kIdentifier
+                            ? true
+                            : (is_punct(t, ">") || is_punct(t, "<") || is_punct(t, "-") ||
+                               is_punct(t, ":") || is_punct(t, ",") || is_punct(t, "::") ||
+                               is_punct(t, "&") || is_punct(t, "*") || is_punct(t, "[") ||
+                               is_punct(t, "]") || is_punct(t, "{") || is_punct(t, "}"));
+        if (is_punct(t, ";")) break;  // statement boundary: not a function body
+        if (!ok) break;
+        if (is_punct(t, "{") || is_punct(t, "}")) break;  // block boundary
+      }
+    }
+    if (!found_params || lparen == 0) continue;
+
+    // The token before `(`: control keyword -> not a function; `]` ->
+    // lambda; identifier (or operator symbol) -> function name.
+    const Token& before = toks[lparen - 1];
+    std::string name;
+    std::size_t head_end = lparen;  // one past the last declaration token
+    if (before.kind == TokenKind::kIdentifier) {
+      if (kControlKeywords.count(before.text) != 0) continue;
+      name = before.text;
+    } else if (is_punct(before, "]")) {
+      name = "<lambda>";
+    } else if (before.kind == TokenKind::kPunct && lparen >= 2 &&
+               is_ident(toks[lparen - 2], "operator")) {
+      name = "operator" + before.text;
+    } else {
+      continue;
+    }
+
+    // Declaration head: back from the name to the previous statement or
+    // block boundary; AVGLOCAL_HOT must appear there to mark the function
+    // hot. Lambdas have no head of their own.
+    bool hot = false;
+    if (name != "<lambda>") {
+      std::size_t h = head_end;
+      for (std::size_t steps = 0; h > 0 && steps < 64; ++steps) {
+        --h;
+        const Token& t = toks[h];
+        if (is_punct(t, ";") || is_punct(t, "}") || is_punct(t, "{")) break;
+        if (is_ident(t, "AVGLOCAL_HOT")) {
+          hot = true;
+          break;
+        }
+      }
+    }
+
+    // Find the matching `}` of the body.
+    std::size_t depth = 0;
+    std::size_t end = i;
+    for (; end < toks.size(); ++end) {
+      if (is_punct(toks[end], "{")) ++depth;
+      if (is_punct(toks[end], "}")) {
+        --depth;
+        if (depth == 0) {
+          ++end;
+          break;
+        }
+      }
+    }
+    spans.push_back({std::move(name), hot, i, end});
+  }
+  return spans;
+}
+
+/// True when token index `i` lies inside any span satisfying `pred`.
+template <typename Pred>
+bool inside_any(const std::vector<FunctionSpan>& spans, std::size_t i, Pred&& pred) {
+  for (const FunctionSpan& s : spans) {
+    if (i > s.body_begin && i + 1 < s.body_end && pred(s)) return true;
+  }
+  return false;
+}
+
+/// A lambda span is hot when some enclosing named span is hot.
+bool in_hot_context(const std::vector<FunctionSpan>& spans, std::size_t i) {
+  return inside_any(spans, i, [](const FunctionSpan& s) { return s.hot; });
+}
+
+bool in_merge_context(const std::vector<FunctionSpan>& spans, std::size_t i) {
+  return inside_any(spans, i,
+                    [](const FunctionSpan& s) { return s.name == "merge" || s.name == "append"; });
+}
+
+// ------------------------------------------------------------------------
+// Reporter plumbing.
+// ------------------------------------------------------------------------
+
+class Reporter {
+ public:
+  Reporter(const SourceFile& file, std::string check, std::vector<Diagnostic>& out)
+      : file_(file), check_(std::move(check)), out_(out) {}
+
+  void report(const Token& at, std::string message) {
+    if (file_.allowed(check_, at.line)) return;
+    out_.push_back({file_.path, at.line, at.col, check_, std::move(message)});
+  }
+
+ private:
+  const SourceFile& file_;
+  std::string check_;
+  std::vector<Diagnostic>& out_;
+};
+
+// ------------------------------------------------------------------------
+// Check 1: raw-entropy.
+// ------------------------------------------------------------------------
+
+void check_raw_entropy(const SourceFile& file, const std::vector<FunctionSpan>&,
+                       std::vector<Diagnostic>& out) {
+  // support/rng.* is the one sanctioned home for randomness plumbing.
+  if (path_contains(file.path, "support/rng.")) return;
+  Reporter r(file, "raw-entropy", out);
+
+  // POSIX random() is deliberately absent: the project's own deterministic
+  // factories are named `random(...)` (IdAssignment::random and friends),
+  // and the libc function's entropy twin is already covered by rand/srand.
+  static const std::unordered_set<std::string> kEntropyCalls = {
+      "rand", "srand", "time", "clock", "getpid", "gettimeofday", "timespec_get",
+  };
+  // Wall clocks are entropy when they feed values; the monotonic
+  // steady_clock stays legal for phase timing (it never enters artefacts).
+  static const std::unordered_set<std::string> kEntropyTypes = {
+      "random_device", "system_clock", "high_resolution_clock",
+  };
+
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kEntropyTypes.count(t.text) != 0) {
+      r.report(t, "'" + t.text + "' is a raw entropy source; derive every random quantity from " +
+                      "a named seed via support/rng.* instead");
+      continue;
+    }
+    if (kEntropyCalls.count(t.text) != 0 && i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      // Member accesses (obj.random(...)) still count: naming a function
+      // after an entropy source on a determinism-contract codebase is
+      // asking for trouble; suppress explicitly if truly benign.
+      r.report(t, "call to '" + t.text + "()' injects wall-clock/process entropy; " +
+                      "deterministic streams must come from support/rng.*");
+      continue;
+    }
+    // Seeding from object addresses: reinterpret_cast<uintptr_t>(&x).
+    if (t.text == "reinterpret_cast" && i + 2 < toks.size() && is_punct(toks[i + 1], "<")) {
+      for (std::size_t k = i + 2; k < std::min(toks.size(), i + 8); ++k) {
+        if (is_punct(toks[k], ">")) break;
+        if (toks[k].kind == TokenKind::kIdentifier &&
+            (toks[k].text == "uintptr_t" || toks[k].text == "intptr_t")) {
+          r.report(t, "reinterpret_cast of a pointer to an integer: addresses are ASLR entropy "
+                      "and must never feed seeds or result values");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Check 2: unordered-iteration.
+// ------------------------------------------------------------------------
+
+void check_unordered_iteration(const SourceFile& file, const std::vector<FunctionSpan>&,
+                               std::vector<Diagnostic>& out) {
+  Reporter r(file, "unordered-iteration", out);
+  const auto& toks = file.tokens;
+
+  static const std::unordered_set<std::string> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+  };
+
+  // Pass 1: names declared with an unordered type anywhere in the file
+  // (locals, members, parameters - scoping finer than that buys nothing
+  // for a ban).
+  std::unordered_set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || kUnorderedTypes.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t k = i + 1;
+    if (k < toks.size() && is_punct(toks[k], "<")) {
+      std::size_t depth = 0;
+      for (; k < toks.size(); ++k) {
+        if (is_punct(toks[k], "<")) ++depth;
+        if (is_punct(toks[k], ">")) {
+          if (--depth == 0) {
+            ++k;
+            break;
+          }
+        }
+      }
+    }
+    while (k < toks.size() && (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+                               is_ident(toks[k], "const"))) {
+      ++k;
+    }
+    if (k < toks.size() && toks[k].kind == TokenKind::kIdentifier &&
+        kControlKeywords.count(toks[k].text) == 0) {
+      unordered_vars.insert(toks[k].text);
+    }
+  }
+
+  const auto mentions_unordered = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier) continue;
+      if (kUnorderedTypes.count(toks[k].text) != 0) return true;
+      if (unordered_vars.count(toks[k].text) != 0) return true;
+    }
+    return false;
+  };
+
+  // Pass 2a: range-for over an unordered container.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    std::size_t depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t k = i + 1; k < toks.size(); ++k) {
+      if (is_punct(toks[k], "(")) ++depth;
+      if (is_punct(toks[k], ")")) {
+        if (--depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (depth == 1 && is_punct(toks[k], ":") && colon == 0) colon = k;
+    }
+    if (colon == 0 || close == 0) continue;
+    if (mentions_unordered(colon + 1, close)) {
+      r.report(toks[i], "range-for over an unordered container: iteration order is "
+                        "implementation-defined and leaks into anything accumulated here; use a "
+                        "sorted/indexed container on result paths");
+    }
+  }
+
+  // Pass 2b: explicit iterator walks - name.begin() / cbegin / rbegin.
+  // "->" lexes as two tokens ('-' '>'), so the member name sits one
+  // further along on pointer access.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || unordered_vars.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t member = 0;
+    if (is_punct(toks[i + 1], ".")) {
+      member = i + 2;
+    } else if (i + 3 < toks.size() && is_punct(toks[i + 1], "-") && is_punct(toks[i + 2], ">")) {
+      member = i + 3;
+    } else {
+      continue;
+    }
+    const std::string& m = toks[member].text;
+    if (m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") {
+      r.report(toks[i], "iterator over unordered container '" + toks[i].text +
+                            "': traversal order is nondeterministic");
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Check 3: float-accumulation (merge/append bodies in src/core + src/local
+// must stay exact integers).
+// ------------------------------------------------------------------------
+
+void check_float_accumulation(const SourceFile& file, const std::vector<FunctionSpan>& spans,
+                              std::vector<Diagnostic>& out) {
+  if (!path_contains(file.path, "core/") && !path_contains(file.path, "local/")) return;
+  Reporter r(file, "float-accumulation", out);
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!in_merge_context(spans, i)) continue;
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kIdentifier && (t.text == "double" || t.text == "float")) {
+      r.report(t, "floating point inside a merge/append path: accumulator merges must stay "
+                  "exact integers so shard/worker partials combine bit-identically; convert to "
+                  "double only at finalize time");
+    } else if (t.kind == TokenKind::kNumber && is_float_literal(t.text)) {
+      r.report(t, "floating literal '" + t.text + "' inside a merge/append path: accumulator "
+                                                  "merges must stay exact integers");
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Check 4: hot-path-alloc (AVGLOCAL_HOT bodies must not allocate).
+// ------------------------------------------------------------------------
+
+void check_hot_path_alloc(const SourceFile& file, const std::vector<FunctionSpan>& spans,
+                          std::vector<Diagnostic>& out) {
+  Reporter r(file, "hot-path-alloc", out);
+  const auto& toks = file.tokens;
+
+  static const std::unordered_set<std::string> kAllocCalls = {
+      "push_back", "emplace_back", "emplace", "insert",      "resize",
+      "reserve",   "make_unique",  "make_shared", "to_string",
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!in_hot_context(spans, i)) continue;
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "new" || t.text == "delete") {
+      r.report(t, "'" + t.text + "' inside an AVGLOCAL_HOT function: hot paths must run "
+                                 "allocation-free after warm-up (the runtime alloc_hook gates "
+                                 "enforce the same contract dynamically)");
+      continue;
+    }
+    if (kAllocCalls.count(t.text) != 0 && i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      r.report(t, "'" + t.text + "()' can allocate inside an AVGLOCAL_HOT function; size "
+                                 "buffers during attach/warm-up instead");
+      continue;
+    }
+    if (t.text == "function" && i >= 2 && is_punct(toks[i - 1], "::") &&
+        is_ident(toks[i - 2], "std")) {
+      r.report(t, "std::function inside an AVGLOCAL_HOT function can heap-allocate its "
+                  "callable; take a template parameter or function_ref-style view instead");
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Check 5: thread-id-dependence.
+// ------------------------------------------------------------------------
+
+void check_thread_id(const SourceFile& file, const std::vector<FunctionSpan>&,
+                     std::vector<Diagnostic>& out) {
+  Reporter r(file, "thread-id-dependence", out);
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "pthread_self") {
+      r.report(t, "pthread_self(): worker identity must never influence results; address "
+                  "workers by their stable pool index");
+      continue;
+    }
+    if (t.text == "get_id") {
+      r.report(t, "thread get_id(): runtime thread identity is schedule-dependent; use the "
+                  "worker index the pool hands to every RangeFn");
+      continue;
+    }
+    if (t.text == "id" && i >= 2 && is_punct(toks[i - 1], "::") &&
+        is_ident(toks[i - 2], "thread")) {
+      r.report(toks[i - 2], "std::thread::id in program logic: thread identity is "
+                            "schedule-dependent and must never feed values or ordering");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"raw-entropy",
+       "entropy sources (random_device, rand, time, wall clocks, address casts) outside "
+       "support/rng.*"},
+      {"unordered-iteration",
+       "iteration over std::unordered_{map,set}: ordering leaks into accumulated results"},
+      {"float-accumulation",
+       "float/double inside merge/append bodies in src/core + src/local (exact-integer "
+       "contract)"},
+      {"hot-path-alloc",
+       "allocation-capable calls inside AVGLOCAL_HOT functions (static alloc_hook complement)"},
+      {"thread-id-dependence",
+       "std::thread::id / get_id / pthread_self: worker identity must never feed values"},
+  };
+  return kChecks;
+}
+
+bool is_check_name(const std::string& name) {
+  const auto& checks = all_checks();
+  return std::any_of(checks.begin(), checks.end(),
+                     [&](const CheckInfo& c) { return c.name == name; });
+}
+
+std::vector<Diagnostic> run_checks(const SourceFile& file, const std::set<std::string>& enabled) {
+  const std::vector<FunctionSpan> spans = index_functions(file.tokens);
+  const auto on = [&](const char* name) {
+    return enabled.empty() || enabled.count(name) != 0;
+  };
+
+  std::vector<Diagnostic> out;
+  if (on("raw-entropy")) check_raw_entropy(file, spans, out);
+  if (on("unordered-iteration")) check_unordered_iteration(file, spans, out);
+  if (on("float-accumulation")) check_float_accumulation(file, spans, out);
+  if (on("hot-path-alloc")) check_hot_path_alloc(file, spans, out);
+  if (on("thread-id-dependence")) check_thread_id(file, spans, out);
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+std::string format(const Diagnostic& d) {
+  return d.path + ":" + std::to_string(d.line) + ":" + std::to_string(d.col) + ": warning: " +
+         d.message + " [" + d.check + "]";
+}
+
+}  // namespace avglocal::lint

@@ -1,0 +1,62 @@
+#include "compile_commands.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json_reader.hpp"
+
+namespace avglocal::lint {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> files_from_compile_commands(const std::string& build_dir) {
+  const fs::path db_path = fs::path(build_dir) / "compile_commands.json";
+  std::ifstream in(db_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("avglocal_lint: cannot read " + db_path.string() +
+                             " (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const support::JsonValue db = support::parse_json(buf.str());
+
+  std::set<std::string> files;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const support::JsonValue* file = db[i].find("file");
+    if (file == nullptr) continue;
+    fs::path p(file->as_string());
+    if (!p.is_absolute()) {
+      if (const support::JsonValue* dir = db[i].find("directory")) {
+        p = fs::path(dir->as_string()) / p;
+      }
+    }
+    const std::string norm = p.lexically_normal().string();
+    // Only the project's own sources: third-party TUs a future build might
+    // add (vendored gtest etc.) are not under the determinism contract.
+    if (norm.find("/src/") == std::string::npos) continue;
+    files.insert(norm);
+  }
+  return {files.begin(), files.end()};
+}
+
+std::vector<std::string> files_from_tree(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("avglocal_lint: not a directory: " + dir);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h") {
+      files.push_back(entry.path().lexically_normal().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace avglocal::lint

@@ -1,0 +1,25 @@
+// Compilation-database discovery for avglocal_lint.
+//
+// `avglocal_lint -p <build-dir>` reads <build-dir>/compile_commands.json
+// (emitted because the root CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS)
+// and lints every translation unit of the project that lives under a src/
+// tree. `--src <dir>` complements it by walking a source tree directly so
+// headers - where most of the engine's hot templates live and which no
+// compilation database lists - are linted too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace avglocal::lint {
+
+/// The distinct "file" entries of `<build_dir>/compile_commands.json` that
+/// live under a `src/` directory, in sorted order. Throws
+/// std::runtime_error when the database is missing or malformed.
+std::vector<std::string> files_from_compile_commands(const std::string& build_dir);
+
+/// Every *.cpp / *.hpp / *.cc / *.h under `dir`, recursively, in sorted
+/// order. Throws std::runtime_error when `dir` is not a directory.
+std::vector<std::string> files_from_tree(const std::string& dir);
+
+}  // namespace avglocal::lint

@@ -1,0 +1,25 @@
+// Fixture (core/ path): exact-integer merge plus a finalize step that is
+// allowed to use floating point - the contract bans floats only inside
+// merge/append bodies.
+// Expected: 0 diagnostics.
+#include <cstdint>
+#include <vector>
+
+struct Partial {
+  std::uint64_t samples = 0;
+  std::vector<std::uint64_t> bins;
+
+  void merge(const Partial& other) {
+    if (other.bins.size() > bins.size()) bins.resize(other.bins.size(), 0);
+    for (std::size_t i = 0; i < other.bins.size(); ++i) bins[i] += other.bins[i];
+    samples += other.samples;
+  }
+
+  void append(Partial&& other) { merge(other); }
+
+  double finalize_mean() const {
+    std::uint64_t weighted = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) weighted += i * bins[i];
+    return samples == 0 ? 0.0 : static_cast<double>(weighted) / static_cast<double>(samples);
+  }
+};

@@ -1,0 +1,15 @@
+// Fixture (core/ path: in scope for float-accumulation): floating point
+// inside a merge body breaks the exact-integer shard-merge contract.
+// Expected: 2 float-accumulation diagnostics (the `double` type, the 0.5
+// literal).
+#include <cstdint>
+
+struct Partial {
+  std::uint64_t sum = 0;
+
+  void merge(const Partial& other) {
+    double weighted = 0.5;  // fires twice: double + floating literal
+    weighted *= static_cast<int>(other.sum % 2);
+    sum += other.sum + static_cast<std::uint64_t>(weighted);
+  }
+};

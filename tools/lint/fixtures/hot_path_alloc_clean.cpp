@@ -1,0 +1,31 @@
+// Fixture: a hot function touching only pre-sized buffers, next to an
+// unannotated warm-up function that is allowed to allocate.
+// Expected: 0 diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define AVGLOCAL_HOT __attribute__((hot))
+
+struct Arena {
+  std::vector<std::uint64_t> words;
+  std::size_t used = 0;
+
+  // Warm-up path: not annotated, allocation is its job.
+  void attach(std::size_t capacity) {
+    words.resize(capacity);
+    used = 0;
+  }
+
+  AVGLOCAL_HOT std::uint64_t drain() noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < used; ++i) sum += words[i];
+    used = 0;
+    return sum;
+  }
+};
+
+AVGLOCAL_HOT void gather(const std::uint64_t* src, const std::uint32_t* idx, std::uint64_t* dst,
+                         std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) dst[i] = src[idx[i]];
+}

@@ -1,0 +1,19 @@
+// Fixture: allocation-capable calls inside an AVGLOCAL_HOT function.
+// Expected: 5 hot-path-alloc diagnostics (push_back, new, delete,
+// std::function, and a push_back hidden in a nested lambda).
+#include <functional>
+#include <vector>
+
+#define AVGLOCAL_HOT __attribute__((hot))
+
+AVGLOCAL_HOT void drain_round(std::vector<int>& out, int value) {
+  out.push_back(value);             // fires: push_back
+  int* scratch = new int(value);    // fires: new
+  delete scratch;                   // fires: delete
+  std::function<void()> deferred;   // fires: std::function
+  const auto push = [&] (int v) {
+    out.push_back(v);               // fires: allocation hidden in a lambda
+  };
+  push(value);
+  if (deferred) deferred();
+}

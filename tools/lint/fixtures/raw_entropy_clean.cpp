@@ -1,0 +1,29 @@
+// Fixture: deterministic code the raw-entropy check must accept.
+// Expected: 0 diagnostics.
+//
+// Mentions of std::rand() or std::random_device in comments must not fire,
+// and identifiers merely containing the banned names (edge_time, runtime,
+// rand_index) are not matches.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t splitmix_step(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t point, std::uint64_t trial) {
+  // Every random quantity flows from a named seed - never std::rand().
+  std::uint64_t state = seed ^ (point << 32) ^ trial;
+  const std::uint64_t rand_index = splitmix_step(state);  // substring, not a call
+  return rand_index;
+}
+
+double phase_seconds() {
+  // steady_clock is monotonic timing, not entropy: legal for stats.
+  const auto begin = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  const auto edge_time = end - begin;
+  return std::chrono::duration<double>(edge_time).count();
+}

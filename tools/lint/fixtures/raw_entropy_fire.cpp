@@ -1,0 +1,15 @@
+// Fixture: every raw entropy source the check must reject.
+// Expected: 5 raw-entropy diagnostics (random_device, rand, srand, time,
+// reinterpret_cast-to-uintptr_t).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_seed() {
+  std::random_device rd;                                       // fires: random_device
+  std::srand(static_cast<unsigned>(std::time(nullptr)));       // fires: srand, time
+  const int noise = std::rand();                               // fires: rand
+  int anchor = 0;
+  const auto addr = reinterpret_cast<std::uintptr_t>(&anchor); // fires: address entropy
+  return rd() + static_cast<unsigned>(noise) + static_cast<unsigned>(addr);
+}

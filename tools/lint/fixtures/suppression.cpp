@@ -1,0 +1,13 @@
+// Fixture: explicit, reviewable suppressions. Both placements (preceding
+// line and trailing same-line) must silence exactly the named check.
+// Expected: 0 diagnostics.
+#include <cstdlib>
+
+unsigned legacy_jitter() {
+  // avglocal-lint: allow(raw-entropy)
+  return static_cast<unsigned>(std::rand());
+}
+
+unsigned legacy_jitter_trailing() {
+  return static_cast<unsigned>(std::rand());  // avglocal-lint: allow(raw-entropy)
+}

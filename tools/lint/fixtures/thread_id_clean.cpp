@@ -1,0 +1,17 @@
+// Fixture: the sanctioned pattern - workers addressed by their stable pool
+// index, plain std::thread management without identity queries.
+// Expected: 0 diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+void per_worker_partials(std::vector<std::uint64_t>& partials, std::size_t workers) {
+  partials.assign(workers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&partials, w] { partials[w] = w; });  // index, not identity
+  }
+  for (std::thread& t : threads) t.join();
+}

@@ -1,0 +1,10 @@
+// Fixture: thread identity feeding values.
+// Expected: 3 thread-id-dependence diagnostics (std::thread::id
+// declaration, get_id call, std::hash<std::thread::id> specialisation use).
+#include <functional>
+#include <thread>
+
+unsigned worker_tag() {
+  const std::thread::id me = std::this_thread::get_id();  // fires: thread::id + get_id
+  return static_cast<unsigned>(std::hash<std::thread::id>{}(me) & 0xffu);  // fires: thread::id
+}

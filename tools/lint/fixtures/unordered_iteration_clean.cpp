@@ -1,0 +1,21 @@
+// Fixture: unordered containers used for point lookups only, plus
+// iteration over ordered containers - all legal.
+// Expected: 0 diagnostics.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t lookups_only(const std::unordered_map<int, std::uint64_t>& index,
+                           const std::vector<int>& keys, const std::map<int, int>& ordered) {
+  std::uint64_t sum = 0;
+  for (const int k : keys) {  // vector: deterministic order
+    const auto it = index.find(k);
+    if (it != index.end()) sum += it->second;
+  }
+  for (const auto& [k, v] : ordered) {  // std::map: deterministic order
+    sum += static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(v);
+  }
+  sum += index.count(42);
+  return sum;
+}

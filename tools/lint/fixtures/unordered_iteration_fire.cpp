@@ -1,0 +1,21 @@
+// Fixture: iteration over unordered containers must fire.
+// Expected: 3 unordered-iteration diagnostics (range-for, .begin() walk,
+// ->begin() walk).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::uint64_t sum_in_hash_order(const std::unordered_map<int, std::uint64_t>& counts,
+                                const std::unordered_set<int>* live) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : counts) {  // fires: range-for over unordered
+    sum += value * static_cast<std::uint64_t>(key);
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // fires: .begin()
+    sum ^= it->second;
+  }
+  for (auto it = live->begin(); it != live->end(); ++it) {  // fires: ->begin()
+    sum += static_cast<std::uint64_t>(*it);
+  }
+  return sum;
+}

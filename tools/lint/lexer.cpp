@@ -1,0 +1,229 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace avglocal::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-character punctuators the checks care to see whole. Everything
+/// else falls back to a single-character token; the checks only ever match
+/// "::", so the table stays deliberately short.
+bool is_double_colon(std::string_view text, std::size_t i) {
+  return text[i] == ':' && i + 1 < text.size() && text[i + 1] == ':';
+}
+
+/// Parses `// avglocal-lint: allow(name, name2)` (or the block-comment
+/// form) out of a comment body; returns the allowed names, empty when the
+/// comment is not an allow-directive.
+std::vector<std::string> parse_allow(std::string_view comment) {
+  std::vector<std::string> names;
+  const std::string_view tag = "avglocal-lint:";
+  const std::size_t at = comment.find(tag);
+  if (at == std::string_view::npos) return names;
+  std::size_t i = comment.find("allow(", at + tag.size());
+  if (i == std::string_view::npos) return names;
+  i += 6;
+  const std::size_t end = comment.find(')', i);
+  if (end == std::string_view::npos) return names;
+  std::string current;
+  for (std::size_t k = i; k < end; ++k) {
+    const char c = comment[k];
+    if (c == ',' ) {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  return names;
+}
+
+}  // namespace
+
+bool SourceFile::allowed(const std::string& check, std::size_t line) const {
+  for (const std::size_t l : {line, line == 0 ? line : line - 1}) {
+    const auto it = allows.find(l);
+    if (it == allows.end()) continue;
+    if (it->second.count(check) != 0 || it->second.count("*") != 0) return true;
+  }
+  return false;
+}
+
+SourceFile lex(std::string path, std::string_view text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  std::size_t line = 1;
+  std::size_t col = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  const auto record_allow = [&](std::string_view comment, std::size_t comment_line) {
+    for (std::string& name : parse_allow(comment)) {
+      out.allows[comment_line].insert(std::move(name));
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    // Preprocessor directive: skip the whole logical line (with `\`
+    // continuations). Only fires at the start of a line so `a # b` inside
+    // an expression cannot eat code (no such operator exists anyway).
+    if (c == '#' && col == 1) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (text[i] == '\n') {
+          advance(1);
+          break;
+        }
+        advance(1);
+      }
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i;
+      const std::size_t comment_line = line;
+      while (i < n && text[i] != '\n') advance(1);
+      record_allow(text.substr(start, i - start), comment_line);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t comment_line = line;
+      advance(2);
+      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) advance(1);
+      advance(2);
+      record_allow(text.substr(start, i - start), comment_line);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !ident_char(text[i - 1]))) {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && text[d] != '(' && delim.size() < 16) delim.push_back(text[d++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = text.find(closer, d);
+      const std::size_t end = close == std::string_view::npos ? n : close + closer.size();
+      out.tokens.push_back({TokenKind::kString, "<raw-string>", tok_line, tok_col});
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      advance(1);
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          advance(2);
+        } else if (text[i] == '\n') {
+          break;  // unterminated literal: stop at the line end
+        } else {
+          advance(1);
+        }
+      }
+      if (i < n && text[i] == quote) advance(1);
+      out.tokens.push_back({TokenKind::kString, "<literal>", tok_line, tok_col});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      while (i < n && ident_char(text[i])) advance(1);
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, std::string(text.substr(start, i - start)), tok_line, tok_col});
+      continue;
+    }
+
+    // Number: integers, floats (1.5, 1e9, 0x1fp3), with digit separators.
+    // A leading '.' followed by a digit is a float too.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      const std::size_t start = i;
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      while (i < n) {
+        const char d = text[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') {
+          advance(1);
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (text[i - 1] == 'e' || text[i - 1] == 'E' || text[i - 1] == 'p' ||
+                    text[i - 1] == 'P')) {
+          advance(1);  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {TokenKind::kNumber, std::string(text.substr(start, i - start)), tok_line, tok_col});
+      continue;
+    }
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Punctuation: "::" as one token, everything else single-character.
+    {
+      const std::size_t tok_line = line;
+      const std::size_t tok_col = col;
+      if (is_double_colon(text, i)) {
+        out.tokens.push_back({TokenKind::kPunct, "::", tok_line, tok_col});
+        advance(2);
+      } else {
+        out.tokens.push_back({TokenKind::kPunct, std::string(1, c), tok_line, tok_col});
+        advance(1);
+      }
+      continue;
+    }
+  }
+
+  return out;
+}
+
+SourceFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("avglocal_lint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lex(path, buf.str());
+}
+
+}  // namespace avglocal::lint

@@ -1,0 +1,67 @@
+// Token-level C++ scanner for avglocal_lint.
+//
+// The determinism checks need to see identifiers, punctuation and literals
+// with exact source positions, with comments and string contents out of the
+// way. A full AST is not required for the contract the linter encodes (see
+// checks.hpp): every forbidden construct is recognisable from a short token
+// pattern plus a little brace/paren structure, which FunctionIndex
+// (checks.cpp) recovers. When a Clang development environment is present
+// the same checks could be re-hosted on ASTMatchers (the CMake gate in
+// tools/lint/CMakeLists.txt probes for one); the token core keeps the lint
+// gate running on toolchains that ship no libclang headers at all.
+//
+// What the lexer guarantees:
+//   - comments and string/char literals (including raw strings) never
+//     produce identifier tokens, so "std::rand" inside a comment cannot
+//     fire a check;
+//   - preprocessor directive lines (with continuations) are skipped, so
+//     macro *definitions* are invisible and only macro *uses* are linted;
+//   - `// avglocal-lint: allow(check-name)` comments are collected as
+//     suppressions for the line they sit on and the line that follows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace avglocal::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the checks match on text)
+  kNumber,      ///< integer or floating literal, verbatim text
+  kString,      ///< string or char literal (contents not tokenised)
+  kPunct,       ///< one operator/punctuator per token ("::" is one token)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+  std::size_t col = 0;   ///< 1-based
+};
+
+/// One lexed source file: the token stream plus per-line lint suppressions.
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> check names allowed on that line ("*" allows every check).
+  /// An allow-comment suppresses its own line and the following line, so
+  /// both trailing and preceding placement work.
+  std::unordered_map<std::size_t, std::unordered_set<std::string>> allows;
+
+  /// True when a diagnostic of `check` at `line` is suppressed.
+  bool allowed(const std::string& check, std::size_t line) const;
+};
+
+/// Lexes `text` (the contents of `path`). Never fails: unrecognised bytes
+/// are skipped, an unterminated literal ends at end-of-file.
+SourceFile lex(std::string path, std::string_view text);
+
+/// Reads and lexes a file from disk; throws std::runtime_error when the
+/// file cannot be read.
+SourceFile lex_file(const std::string& path);
+
+}  // namespace avglocal::lint

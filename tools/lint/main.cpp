@@ -1,0 +1,106 @@
+// avglocal_lint - the determinism contract of the sweep fabric, as a build
+// gate. See checks.hpp for the contract itself.
+//
+// Usage:
+//   avglocal_lint --list-checks
+//   avglocal_lint [--checks=a,b] [-p <build-dir>] [--src <dir>] [files...]
+//
+// File discovery composes: `-p` adds every project TU of a compilation
+// database (CMAKE_EXPORT_COMPILE_COMMANDS), `--src` adds a whole source
+// tree (headers included), positional arguments add single files. Exit
+// status: 0 clean, 1 diagnostics emitted, 2 usage/IO error - so both ctest
+// and CI can gate on it directly.
+#include <cstdio>
+#include <exception>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checks.hpp"
+#include "compile_commands.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+using namespace avglocal::lint;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list-checks] [--checks=a,b] [-p <build-dir>] [--src <dir>] "
+               "[files...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::set<std::string> enabled;
+  bool quiet = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--list-checks") {
+        for (const CheckInfo& c : all_checks()) {
+          std::printf("%-22s %s\n", c.name.c_str(), c.description.c_str());
+        }
+        return 0;
+      }
+      if (arg == "--quiet" || arg == "-q") {
+        quiet = true;
+      } else if (arg.rfind("--checks=", 0) == 0) {
+        std::string_view list = arg.substr(9);
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          const std::string name(list.substr(0, comma));
+          if (!name.empty()) {
+            if (!is_check_name(name)) {
+              std::fprintf(stderr, "avglocal_lint: unknown check '%s' (try --list-checks)\n",
+                           name.c_str());
+              return 2;
+            }
+            enabled.insert(name);
+          }
+          if (comma == std::string_view::npos) break;
+          list.remove_prefix(comma + 1);
+        }
+      } else if (arg == "-p") {
+        if (++i >= argc) return usage(argv[0]);
+        for (std::string& f : files_from_compile_commands(argv[i])) {
+          files.push_back(std::move(f));
+        }
+      } else if (arg == "--src") {
+        if (++i >= argc) return usage(argv[0]);
+        for (std::string& f : files_from_tree(argv[i])) {
+          files.push_back(std::move(f));
+        }
+      } else if (!arg.empty() && arg[0] == '-') {
+        return usage(argv[0]);
+      } else {
+        files.emplace_back(arg);
+      }
+    }
+
+    if (files.empty()) return usage(argv[0]);
+
+    std::size_t diagnostics = 0;
+    for (const std::string& path : files) {
+      const SourceFile file = lex_file(path);
+      for (const Diagnostic& d : run_checks(file, enabled)) {
+        std::printf("%s\n", format(d).c_str());
+        ++diagnostics;
+      }
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "avglocal_lint: %zu file(s), %zu diagnostic(s)\n", files.size(),
+                   diagnostics);
+    }
+    return diagnostics == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
