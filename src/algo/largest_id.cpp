@@ -10,6 +10,7 @@
 #include "local/wire.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::algo {
 
@@ -170,8 +171,8 @@ std::vector<std::size_t> largest_id_radii_on_cycle(const graph::IdAssignment& id
     for (std::size_t step = 0; step < 2 * n; ++step) {
       const std::size_t pos = rightwards ? (2 * n - 1 - step) % n : step % n;
       // Pop smaller-or-equal ids: they found their nearest greater at pos.
-      while (!stack.empty() && ids.id_of(static_cast<graph::Vertex>(stack.back())) <
-                                   ids.id_of(static_cast<graph::Vertex>(pos))) {
+      while (!stack.empty() && ids.id_of(support::checked_u32(stack.back())) <
+                                   ids.id_of(support::checked_u32(pos))) {
         const std::size_t w = stack.back();
         stack.pop_back();
         const std::size_t dist = rightwards ? (w + n - pos) % n : (pos + n - w) % n;

@@ -5,6 +5,7 @@
 
 #include "graph/builder.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::analysis {
 
@@ -16,7 +17,7 @@ void enumerate_tuples(std::size_t n, std::size_t len, std::vector<std::uint64_t>
                       std::vector<bool>& used,
                       std::map<std::vector<std::uint64_t>, graph::Vertex>& index) {
   if (current.size() == len) {
-    const auto id = static_cast<graph::Vertex>(index.size());
+    const auto id = support::checked_u32(index.size());
     index.emplace(current, id);
     return;
   }

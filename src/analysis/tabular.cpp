@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::analysis {
 
@@ -32,8 +33,8 @@ SynthView synth_open_view(const RingViewKey& window) {
   view.ports.assign_rows(size, 2);
 
   // local index: 0 = root; cw_i -> 2i-1; ccw_i -> 2i.
-  const auto cw = [](std::size_t i) { return static_cast<local::LocalVertex>(2 * i - 1); };
-  const auto ccw = [](std::size_t i) { return static_cast<local::LocalVertex>(2 * i); };
+  const auto cw = [](std::size_t i) { return support::checked_u32(2 * i - 1); };
+  const auto ccw = [](std::size_t i) { return support::checked_u32(2 * i); };
   synth.ids[0] = window[r];
   view.dist[0] = 0;
   for (std::size_t i = 1; i <= r; ++i) {
@@ -71,8 +72,8 @@ SynthView synth_closed_view(const std::vector<std::uint64_t>& ids, std::size_t v
   for (std::size_t i = 0; i < n; ++i) {
     synth.ids[i] = ids[(v + i) % n];
     view.dist[i] = static_cast<int>(std::min(i, n - i));
-    view.ports[i][0] = static_cast<local::LocalVertex>((i + 1) % n);
-    view.ports[i][1] = static_cast<local::LocalVertex>((i + n - 1) % n);
+    view.ports[i][0] = support::checked_u32((i + 1) % n);
+    view.ports[i][1] = support::checked_u32((i + n - 1) % n);
   }
   view.ids = synth.ids;
   return synth;

@@ -25,6 +25,7 @@
 #include "graph/ids.hpp"
 #include "local/metrics.hpp"
 #include "local/view_engine.hpp"
+#include "support/aligned.hpp"
 #include "support/thread_pool.hpp"
 
 namespace avglocal::core {
@@ -48,6 +49,16 @@ struct BatchedSweepOptions {
   /// cost of regrowing ball geometry once per batch. Results do not depend
   /// on the batch size.
   std::size_t batch_size = 0;
+  /// Resident-memory budget for one sweep point, in bytes; 0 = unlimited.
+  /// When set, SweepDriver derives the batch width from the backend's
+  /// bytes-per-trial model (core/memory_model.hpp, shared across all
+  /// concurrent worker lanes) instead of fixed constants, clamping
+  /// batch_size further if needed. A budget too small for even one
+  /// resident trial per lane still runs at width 1 - the model's envelope
+  /// is asserted against the alloc hook by tests and bench_regression, so
+  /// an undershootable budget fails there rather than silently. Like
+  /// batch_size, the budget never changes results, only footprint.
+  std::size_t memory_budget_bytes = 0;
   /// Probabilities of the radius quantiles reported per point.
   std::vector<double> quantile_probs = {0.5, 0.9, 0.99};
   /// Also report the per-vertex mean radius profile (n doubles per point).
@@ -145,6 +156,30 @@ void accumulate_edge_partials(std::span<const std::pair<graph::Vertex, graph::Ve
                               std::span<const std::uint32_t> radius_matrix,
                               std::size_t batch_begin, std::size_t batch_size,
                               PointAccumulator& acc, std::vector<std::uint64_t>& edge_counts);
+
+/// SoA mirror of a canonical edge list plus an edge-time row, the operands
+/// of the simd::edge_times_u32 kernel: 64-byte-aligned u32 endpoint arrays
+/// (two gathers per vector of edges) and the per-trial times they produce.
+/// bind() rebuilds the arrays only when the edge count changes, so a lane
+/// that sticks to one point (every lane does) converts its edge list once.
+struct EdgeAccumScratch {
+  support::AlignedVector<std::uint32_t> edge_u;
+  support::AlignedVector<std::uint32_t> edge_v;
+  support::AlignedVector<std::uint32_t> times;
+
+  void bind(std::span<const std::pair<graph::Vertex, graph::Vertex>> edges);
+};
+
+/// Vectorised twin of accumulate_edge_partials: per trial row, one
+/// simd::edge_times_u32 sweep over the SoA edge arrays, then a scalar fold
+/// of the times into the counts and the trial's edge sum. Exact integers
+/// in canonical edge order, so the partials are bit-identical to the
+/// scalar overload (pinned in tests) - this is the driver's hot path.
+void accumulate_edge_partials(std::span<const std::pair<graph::Vertex, graph::Vertex>> edge_list,
+                              std::span<const std::uint32_t> radius_matrix,
+                              std::size_t batch_begin, std::size_t batch_size,
+                              PointAccumulator& acc, std::vector<std::uint64_t>& edge_counts,
+                              EdgeAccumScratch& scratch);
 
 /// Runs trials [trial_begin, trial_end) of point `point_index` on `g` and
 /// returns exact partials. Since the SweepBackend redesign this is a thin

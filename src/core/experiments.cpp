@@ -25,6 +25,7 @@
 #include "graph/properties.hpp"
 #include "local/engine.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -396,9 +397,9 @@ ExperimentResult experiment_dynamic_update(const ExperimentScale& scale) {
     support::RunningStats full_stats;
     for (std::size_t t = 0; t < trials; ++t) {
       const graph::IdAssignment before = graph::IdAssignment::random(n, rng);
-      const auto u = static_cast<std::uint32_t>(rng.below(n));
-      auto v = static_cast<std::uint32_t>(rng.below(n));
-      while (v == u) v = static_cast<std::uint32_t>(rng.below(n));
+      const auto u = support::checked_u32(rng.below(n));
+      auto v = support::checked_u32(rng.below(n));
+      while (v == u) v = support::checked_u32(rng.below(n));
       const graph::IdAssignment after = before.with_swapped(u, v);
       const auto r_before = algo::largest_id_radii_on_cycle(before);
       const auto r_after = algo::largest_id_radii_on_cycle(after);

@@ -7,6 +7,7 @@
 #include "local/engine.hpp"
 #include "local/view_engine.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::core {
 
@@ -85,7 +86,7 @@ void ViewBackend::run_batch(BackendPointState& state, std::span<const graph::IdA
         // Workers own disjoint vertex ranges, so these shared rows are
         // safe: each (trial, v) cell has exactly one writer.
         acc.node_sum[v] += r;
-        radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
+        radius_matrix[trial * n + v] = support::checked_u32(radius);
       });
 
   for (const ViewPointState::WorkerPartial& w : view_state.partials) {
@@ -95,6 +96,41 @@ void ViewBackend::run_batch(BackendPointState& state, std::span<const graph::IdA
     }
     acc.histogram.merge(w.histogram);
   }
+}
+
+SweepMemoryModel ViewBackend::memory_model(const graph::Graph& g) const noexcept {
+  const std::size_t n = g.vertex_count();
+  const std::size_t arcs = g.arc_count();
+  SweepMemoryModel model;
+  // Per resident trial: the id assignment (8n), its radius-matrix row
+  // (4n), its transpose row in the lockstep engine (8n; row_stride rounds
+  // trials up to a cache line, amortised per trial), and the worst-case
+  // spill id buffer should its ball reach the whole graph (8n). 28n.
+  model.bytes_per_trial = n * (8 + 4 + 8 + 8);
+  // Per lane: the CSR tables, the canonical edge list (8 bytes per edge),
+  // the epoch-stamped ball scratch (local_of + stamps, 8n) and the
+  // grower's discovery arrays (globals + dist + ports, ~16n + 4 * arcs at
+  // full coverage). The transpose pads its stride to a full cache line
+  // (8 id slots), so up to 7 slots beyond the batch width are resident
+  // regardless of width - that worst-case rounding excess (56n) is charged
+  // here, keeping predicted_lane_bytes an upper bound at every width
+  // (pinned by the envelope test in tests/test_large_scale.cpp).
+  model.fixed_bytes = g.memory_bytes() + 4 * arcs + 8 * (arcs / 2) + 24 * n + 56 * n;
+  return model;
+}
+
+SweepMemoryModel MessageBackend::memory_model(const graph::Graph& g) const noexcept {
+  const std::size_t n = g.vertex_count();
+  const std::size_t arcs = g.arc_count();
+  SweepMemoryModel model;
+  // Message trials run one at a time through a lane's engine, so a
+  // resident trial costs only its id buffer and radius-matrix row.
+  model.bytes_per_trial = n * (8 + 4);
+  // Per lane: the CSR tables, edge list, per-node contexts and the two
+  // ping-pong arenas (8-byte slot + presence bit per arc each, plus
+  // payload words at one word per arc as the steady-state floor).
+  model.fixed_bytes = g.memory_bytes() + 8 * (arcs / 2) + 48 * n + 2 * (17 * arcs / 2);
+  return model;
 }
 
 MessageBackend::MessageBackend(MessageAlgorithmProvider algorithms, MessageEngineOptions engine)
@@ -126,7 +162,7 @@ void MessageBackend::run_batch(BackendPointState& state,
         acc.trial_max[batch_begin + trial] = std::max(acc.trial_max[batch_begin + trial], r);
         acc.histogram.add(radius);
         acc.node_sum[v] += r;
-        radius_matrix[trial * n + v] = static_cast<std::uint32_t>(radius);
+        radius_matrix[trial * n + v] = support::checked_u32(radius);
       });
 }
 

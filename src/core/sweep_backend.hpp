@@ -34,6 +34,7 @@
 #include <string_view>
 
 #include "core/batched_sweep.hpp"
+#include "core/memory_model.hpp"
 #include "core/message_sweep.hpp"
 #include "support/thread_pool.hpp"
 
@@ -87,6 +88,12 @@ class SweepBackend {
   virtual void run_batch(BackendPointState& state, std::span<const graph::IdAssignment> batch,
                          std::size_t batch_begin, support::ThreadPool* pool,
                          PointAccumulator& acc, std::span<std::uint32_t> radius_matrix) const = 0;
+
+  /// Resident-footprint model of one lane sweeping `g` through this
+  /// backend (driver-owned buffers included). SweepDriver inverts it to
+  /// derive batch widths from BatchedSweepOptions::memory_budget_bytes;
+  /// tests and the bench assert real alloc-hook bytes stay inside it.
+  virtual SweepMemoryModel memory_model(const graph::Graph& g) const noexcept = 0;
 };
 
 /// The ball-formulation backend, wrapping local::run_views_batched: ball
@@ -110,6 +117,7 @@ class ViewBackend final : public SweepBackend {
   void run_batch(BackendPointState& state, std::span<const graph::IdAssignment> batch,
                  std::size_t batch_begin, support::ThreadPool* pool, PointAccumulator& acc,
                  std::span<std::uint32_t> radius_matrix) const override;
+  SweepMemoryModel memory_model(const graph::Graph& g) const noexcept override;
 
  private:
   AlgorithmProvider algorithms_;
@@ -135,6 +143,7 @@ class MessageBackend final : public SweepBackend {
   void run_batch(BackendPointState& state, std::span<const graph::IdAssignment> batch,
                  std::size_t batch_begin, support::ThreadPool* pool, PointAccumulator& acc,
                  std::span<std::uint32_t> radius_matrix) const override;
+  SweepMemoryModel memory_model(const graph::Graph& g) const noexcept override;
 
  private:
   MessageAlgorithmProvider algorithms_;

@@ -38,7 +38,8 @@ SweepDriver::Point SweepDriver::prepare(const graph::Graph& g, std::size_t point
 
 PointAccumulator SweepDriver::run_lane(Point& point, std::size_t lane_index,
                                        std::size_t trial_begin, std::size_t trial_end,
-                                       support::ThreadPool* vertex_pool) const {
+                                       support::ThreadPool* vertex_pool,
+                                       std::size_t concurrent_lanes) const {
   Point::Lane& lane = point.lanes_[lane_index];
   // Lazy lane warm-up: the backend state (for messages: the arena-backed
   // engine) is built on first touch and survives every later call through
@@ -50,8 +51,16 @@ PointAccumulator SweepDriver::run_lane(Point& point, std::size_t lane_index,
   const std::size_t total = trial_end - trial_begin;
   PointAccumulator acc = make_point_accumulator(g, point.point_index_, trial_begin, trial_end);
 
-  const std::size_t batch_cap =
+  std::size_t batch_cap =
       options_.batch_size == 0 ? total : std::min(options_.batch_size, total);
+  if (options_.memory_budget_bytes != 0) {
+    // Budgeted batching: the backend's bytes-per-trial model, inverted for
+    // the widest batch that keeps every concurrent lane inside the budget.
+    // Purely a width clamp - results are batch-width independent.
+    const SweepMemoryModel model = backend_->memory_model(g);
+    batch_cap = std::min(batch_cap,
+                         model.max_batch(options_.memory_budget_bytes, concurrent_lanes));
+  }
   if (lane.radius_matrix.size() < batch_cap * n) lane.radius_matrix.resize(batch_cap * n);
   lane.batch.reserve(batch_cap);
   lane.edge_counts.clear();
@@ -64,7 +73,7 @@ PointAccumulator SweepDriver::run_lane(Point& point, std::size_t lane_index,
     backend_->run_batch(*lane.state, lane.batch, batch_begin, vertex_pool, acc,
                         lane.radius_matrix);
     accumulate_edge_partials(point.edge_list_, lane.radius_matrix, batch_begin, batch_size, acc,
-                             lane.edge_counts);
+                             lane.edge_counts, lane.edge_scratch);
   }
   acc.edge_histogram = local::RadiusHistogram(std::move(lane.edge_counts));
   lane.edge_counts.clear();  // moved-from; leave it well-defined for the next call
@@ -88,7 +97,7 @@ PointAccumulator SweepDriver::run_trials(Point& point, std::size_t trial_begin,
     const bool share_vertices =
         backend_->parallel_granularity() == SweepBackend::Granularity::kVertices;
     if (point.lanes_.empty()) point.lanes_.resize(1);
-    return run_lane(point, 0, trial_begin, trial_end, share_vertices ? pool_ : nullptr);
+    return run_lane(point, 0, trial_begin, trial_end, share_vertices ? pool_ : nullptr, 1);
   }
 
   // Parallel trial split: contiguous near-equal chunks (the first
@@ -121,7 +130,7 @@ PointAccumulator SweepDriver::run_trials(Point& point, std::size_t trial_begin,
   pool_->for_range(chunks, 1, [&](std::size_t /*worker*/, std::size_t chunk_begin,
                                   std::size_t chunk_end) {
     for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
-      partials[c] = run_lane(point, c, ranges[c].first, ranges[c].second, nullptr);
+      partials[c] = run_lane(point, c, ranges[c].first, ranges[c].second, nullptr, chunks);
     }
   });
 

@@ -71,6 +71,7 @@ class SweepDriver {
       std::vector<graph::IdAssignment> batch;
       std::vector<std::uint32_t> radius_matrix;
       std::vector<std::uint64_t> edge_counts;
+      EdgeAccumScratch edge_scratch;  // SoA edge arrays for edge_times_u32
     };
     const SweepBackend* backend_ = nullptr;  // who prepared the lane states
     const graph::Graph* g_ = nullptr;
@@ -97,8 +98,12 @@ class SweepDriver {
   const SweepBackend& backend() const noexcept { return *backend_; }
 
  private:
+  /// `concurrent_lanes` is how many lanes share the point's memory budget
+  /// at this moment (1 serial / kVertices, the chunk count for a kTrials
+  /// split) - the divisor of SweepMemoryModel::max_batch.
   PointAccumulator run_lane(Point& point, std::size_t lane_index, std::size_t trial_begin,
-                            std::size_t trial_end, support::ThreadPool* vertex_pool) const;
+                            std::size_t trial_end, support::ThreadPool* vertex_pool,
+                            std::size_t concurrent_lanes) const;
 
   const SweepBackend* backend_;
   BatchedSweepOptions options_;

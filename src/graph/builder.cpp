@@ -1,20 +1,24 @@
 #include "graph/builder.hpp"
 
-#include <algorithm>
+#include <cstdint>
 #include <limits>
-#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::graph {
 
-GraphBuilder::GraphBuilder(std::size_t n) : adjacency_(n) {}
+using support::checked_u32;
+
+GraphBuilder::GraphBuilder(std::size_t n) : degrees_(n, 0) {}
 
 void GraphBuilder::add_arc(Vertex u, Vertex v) {
-  AVGLOCAL_EXPECTS_MSG(u < adjacency_.size() && v < adjacency_.size(), "vertex out of range");
+  AVGLOCAL_EXPECTS_MSG(u < degrees_.size() && v < degrees_.size(), "vertex out of range");
   AVGLOCAL_EXPECTS_MSG(u != v, "self-loops are not allowed");
-  adjacency_[u].push_back(v);
+  arcs_.push_back(ArcRec{u, v});
+  ++degrees_[u];
 }
 
 void GraphBuilder::add_edge(Vertex u, Vertex v) {
@@ -22,79 +26,103 @@ void GraphBuilder::add_edge(Vertex u, Vertex v) {
   add_arc(v, u);
 }
 
-Graph GraphBuilder::build() const {
-  const std::size_t n = adjacency_.size();
+void GraphBuilder::reserve_arcs(std::size_t arcs) { arcs_.reserve(arcs); }
 
-  // Validate: no duplicate arcs, and the arc multiset is symmetric.
-  std::vector<std::pair<Vertex, Vertex>> arcs;
-  for (Vertex u = 0; u < n; ++u) {
-    for (Vertex v : adjacency_[u]) arcs.emplace_back(u, v);
-  }
-  std::vector<std::pair<Vertex, Vertex>> sorted = arcs;
-  std::sort(sorted.begin(), sorted.end());
-  for (std::size_t i = 1; i < sorted.size(); ++i) {
-    AVGLOCAL_EXPECTS_MSG(sorted[i] != sorted[i - 1], "duplicate edge");
-  }
-  for (const auto& [u, v] : sorted) {
-    const bool has_reverse =
-        std::binary_search(sorted.begin(), sorted.end(), std::make_pair(v, u));
-    AVGLOCAL_EXPECTS_MSG(has_reverse, "arc without reverse arc");
-  }
+Graph GraphBuilder::build(OffsetWidth width) const {
+  const std::size_t n = degrees_.size();
+  const std::size_t arc_count = arcs_.size();
 
-  std::vector<std::size_t> offsets(n + 1, 0);
-  for (Vertex u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + adjacency_[u].size();
-  std::vector<Vertex> targets;
-  targets.reserve(offsets[n]);
-  for (Vertex u = 0; u < n; ++u) {
-    targets.insert(targets.end(), adjacency_[u].begin(), adjacency_[u].end());
-  }
-
-  // Precompute mirror ports: sort arcs by undirected edge key so the two
-  // arcs of every edge land adjacent, then point each at the other. Gives
-  // Graph::mirror_port its O(1) lookup. Arc indices are stored in 32 bits;
-  // graphs beyond 2^32 arcs would truncate, so reject them explicitly.
-  AVGLOCAL_EXPECTS_MSG(offsets[n] <= std::numeric_limits<std::uint32_t>::max(),
+  // Per-arc state elsewhere (message slots, mirror tables, SIMD gather
+  // indices) is 32-bit; graphs beyond 2^32 arcs would truncate it, so
+  // reject them explicitly. This also makes every narrowing below safe.
+  AVGLOCAL_EXPECTS_MSG(arc_count <= std::numeric_limits<std::uint32_t>::max(),
                        "graph exceeds 2^32 directed arcs");
-  struct Arc {
-    Vertex lo, hi, from;
-    std::uint32_t index;
-  };
-  std::vector<Arc> edge_sorted;
-  edge_sorted.reserve(offsets[n]);
-  for (Vertex u = 0; u < n; ++u) {
-    for (std::size_t p = 0; p < adjacency_[u].size(); ++p) {
-      const Vertex v = adjacency_[u][p];
-      edge_sorted.push_back(Arc{std::min(u, v), std::max(u, v), u,
-                                static_cast<std::uint32_t>(offsets[u] + p)});
+
+  // CSR row offsets (working copy in 64 bits; narrowed at the end).
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degrees_[v];
+
+  // One pass over the arcs in insertion order does three jobs at once:
+  // a stable counting sort by source (per-source insertion order is the
+  // port order, byte-identical to the old per-vertex adjacency lists),
+  // the flat arc index of each arc, and a bucket of incoming arcs per
+  // target for the mirror match below.
+  std::vector<Vertex> targets(arc_count);
+  std::vector<std::size_t> out_cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<std::size_t> in_off(n + 1, 0);
+  for (const ArcRec& a : arcs_) ++in_off[a.to + 1];
+  for (std::size_t v = 0; v < n; ++v) in_off[v + 1] += in_off[v];
+  std::vector<Vertex> in_src(arc_count);
+  std::vector<vid32> in_arc(arc_count);
+  std::vector<std::size_t> in_cursor(in_off.begin(), in_off.end() - 1);
+  for (const ArcRec& a : arcs_) {
+    const std::size_t flat = out_cursor[a.from]++;
+    targets[flat] = a.to;
+    const std::size_t pos = in_cursor[a.to]++;
+    in_src[pos] = a.from;
+    in_arc[pos] = checked_u32(flat);
+  }
+
+  // Mirror ports via an epoch-stamped slot map: for each vertex x, stamp
+  // its incoming arcs {y -> x} into per-endpoint slots (a second arc from
+  // the same y is a duplicate edge), then resolve each outgoing arc
+  // x -> w against the slot for w (a miss is an arc without its reverse).
+  // Bumping the epoch replaces the O(n) slot clear per vertex; 64-bit
+  // epochs cannot wrap. Validation and matching in one O(n + m) sweep -
+  // this is what Graph::mirror_port's O(1) lookup is built from.
+  std::vector<vid32> mirror(arc_count);
+  std::vector<std::uint64_t> slot_epoch(n, 0);
+  std::vector<vid32> slot_arc(n, 0);
+  std::uint64_t epoch = 0;
+  for (std::size_t x = 0; x < n; ++x) {
+    ++epoch;
+    for (std::size_t pos = in_off[x]; pos < in_off[x + 1]; ++pos) {
+      const Vertex y = in_src[pos];
+      AVGLOCAL_EXPECTS_MSG(slot_epoch[y] != epoch, "duplicate edge");
+      slot_epoch[y] = epoch;
+      slot_arc[y] = in_arc[pos];
+    }
+    for (std::size_t flat = offsets[x]; flat < offsets[x + 1]; ++flat) {
+      const Vertex w = targets[flat];
+      AVGLOCAL_EXPECTS_MSG(slot_epoch[w] == epoch, "arc without reverse arc");
+      mirror[flat] = checked_u32(slot_arc[w] - offsets[w]);
     }
   }
-  std::sort(edge_sorted.begin(), edge_sorted.end(), [](const Arc& a, const Arc& b) {
-    return std::tie(a.lo, a.hi, a.from) < std::tie(b.lo, b.hi, b.from);
-  });
-  std::vector<std::uint32_t> mirror(offsets[n]);
-  for (std::size_t i = 0; i + 1 < edge_sorted.size(); i += 2) {
-    const Arc& a = edge_sorted[i];
-    const Arc& b = edge_sorted[i + 1];
-    AVGLOCAL_ASSERT(a.lo == b.lo && a.hi == b.hi && a.from != b.from);
-    mirror[a.index] = static_cast<std::uint32_t>(b.index - offsets[b.from]);
-    mirror[b.index] = static_cast<std::uint32_t>(a.index - offsets[a.from]);
-  }
+
 #ifndef NDEBUG
   // The mirror invariant every consumer (message delivery, edge measures,
   // ball growth) now relies on without a port_to fallback: following an arc
   // and its mirror lands back on the origin, for every arc. O(2m) checks,
   // debug builds only.
-  for (Vertex u = 0; u < n; ++u) {
-    for (std::size_t p = 0; p < adjacency_[u].size(); ++p) {
-      const Vertex v = adjacency_[u][p];
-      const std::uint32_t q = mirror[offsets[u] + p];
-      AVGLOCAL_ASSERT(q < adjacency_[v].size());
-      AVGLOCAL_ASSERT(adjacency_[v][q] == u);
-      AVGLOCAL_ASSERT(mirror[offsets[v] + q] == static_cast<std::uint32_t>(p));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t p = 0; p < degrees_[u]; ++p) {
+      const Vertex v = targets[offsets[u] + p];
+      const vid32 q = mirror[offsets[u] + p];
+      AVGLOCAL_ASSERT(q < degrees_[v]);
+      AVGLOCAL_ASSERT(targets[offsets[v] + q] == u);
+      AVGLOCAL_ASSERT(mirror[offsets[v] + q] == p);
     }
   }
 #endif
-  return Graph(std::move(offsets), std::move(targets), std::move(mirror));
+
+  // Materialise the offsets in the requested width. kAuto compacts
+  // whenever the arc count fits 32 bits (always, given the guard above);
+  // kWide keeps the 64-bit reference layout for parity testing.
+  const bool compact =
+      width == OffsetWidth::kWide
+          ? false
+          : (width == OffsetWidth::kCompact ||
+             arc_count <= std::numeric_limits<vid32>::max());
+  std::vector<vid32> offsets32;
+  std::vector<vid64> offsets64;
+  if (compact) {
+    offsets32.reserve(n + 1);
+    for (const std::size_t o : offsets) offsets32.push_back(checked_u32(o));
+  } else {
+    offsets64.assign(offsets.begin(), offsets.end());
+  }
+  return Graph(n, std::move(offsets32), std::move(offsets64), std::move(targets),
+               std::move(mirror));
 }
 
 }  // namespace avglocal::graph

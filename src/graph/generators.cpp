@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -8,15 +9,19 @@
 #include "graph/builder.hpp"
 #include "graph/properties.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::graph {
+
+using support::checked_u32;
 
 Graph make_cycle(std::size_t n) {
   AVGLOCAL_EXPECTS_MSG(n >= 3, "a cycle needs at least 3 vertices");
   GraphBuilder b(n);
+  b.reserve_arcs(2 * n);
   for (Vertex i = 0; i < n; ++i) {
-    const auto succ = static_cast<Vertex>((i + 1) % n);
-    const auto pred = static_cast<Vertex>((i + n - 1) % n);
+    const Vertex succ = checked_u32((i + 1) % n);
+    const Vertex pred = checked_u32((i + n - 1) % n);
     b.add_arc(i, succ);  // port 0: clockwise successor
     b.add_arc(i, pred);  // port 1: counter-clockwise predecessor
   }
@@ -26,6 +31,7 @@ Graph make_cycle(std::size_t n) {
 Graph make_path(std::size_t n) {
   AVGLOCAL_EXPECTS_MSG(n >= 2, "a path needs at least 2 vertices");
   GraphBuilder b(n);
+  b.reserve_arcs(2 * (n - 1));
   for (Vertex i = 0; i < n; ++i) {
     if (i + 1 < n) b.add_arc(i, i + 1);  // port 0: right
     if (i > 0) b.add_arc(i, i - 1);      // port 1 (or 0 for the left endpoint)
@@ -36,6 +42,7 @@ Graph make_path(std::size_t n) {
 Graph make_complete(std::size_t n) {
   AVGLOCAL_EXPECTS_MSG(n >= 2, "a complete graph needs at least 2 vertices");
   GraphBuilder b(n);
+  b.reserve_arcs(n * (n - 1));
   for (Vertex i = 0; i < n; ++i) {
     for (Vertex j = 0; j < n; ++j) {
       if (i != j) b.add_arc(i, j);
@@ -47,6 +54,7 @@ Graph make_complete(std::size_t n) {
 Graph make_star(std::size_t n) {
   AVGLOCAL_EXPECTS_MSG(n >= 2, "a star needs at least 2 vertices");
   GraphBuilder b(n);
+  b.reserve_arcs(2 * (n - 1));
   for (Vertex leaf = 1; leaf < n; ++leaf) {
     b.add_arc(0, leaf);
     b.add_arc(leaf, 0);
@@ -56,10 +64,9 @@ Graph make_star(std::size_t n) {
 
 Graph make_grid(std::size_t rows, std::size_t cols) {
   AVGLOCAL_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
-  const auto index = [cols](std::size_t r, std::size_t c) {
-    return static_cast<Vertex>(r * cols + c);
-  };
+  const auto index = [cols](std::size_t r, std::size_t c) { return checked_u32(r * cols + c); };
   GraphBuilder b(rows * cols);
+  b.reserve_arcs(2 * (rows * (cols - 1) + cols * (rows - 1)));
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(index(r, c), index(r, c + 1));
@@ -71,10 +78,9 @@ Graph make_grid(std::size_t rows, std::size_t cols) {
 
 Graph make_torus(std::size_t rows, std::size_t cols) {
   AVGLOCAL_EXPECTS_MSG(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
-  const auto index = [cols](std::size_t r, std::size_t c) {
-    return static_cast<Vertex>(r * cols + c);
-  };
+  const auto index = [cols](std::size_t r, std::size_t c) { return checked_u32(r * cols + c); };
   GraphBuilder b(rows * cols);
+  b.reserve_arcs(4 * rows * cols);
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       b.add_edge(index(r, c), index(r, (c + 1) % cols));
@@ -94,11 +100,12 @@ Graph make_kary_tree(std::size_t k, std::size_t levels) {
   }
   AVGLOCAL_EXPECTS_MSG(n >= 2, "tree with a single vertex is not a valid network");
   GraphBuilder b(n);
+  b.reserve_arcs(2 * (n - 1));
   // Children of vertex v are k*v+1 .. k*v+k (heap layout).
   for (Vertex v = 0; v < n; ++v) {
     for (std::size_t c = 1; c <= k; ++c) {
       const std::size_t child = k * static_cast<std::size_t>(v) + c;
-      if (child < n) b.add_edge(v, static_cast<Vertex>(child));
+      if (child < n) b.add_edge(v, checked_u32(child));
     }
   }
   return b.build();
@@ -107,6 +114,7 @@ Graph make_kary_tree(std::size_t k, std::size_t levels) {
 Graph make_random_tree(std::size_t n, support::Xoshiro256& rng) {
   AVGLOCAL_EXPECTS(n >= 2);
   GraphBuilder b(n);
+  b.reserve_arcs(2 * (n - 1));
   if (n == 2) {
     b.add_edge(0, 1);
     return b.build();
@@ -127,7 +135,7 @@ Graph make_random_tree(std::size_t n, support::Xoshiro256& rng) {
     std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
     const std::size_t leaf = leaves.back();
     leaves.pop_back();
-    b.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(x));
+    b.add_edge(checked_u32(leaf), checked_u32(x));
     if (--remaining_degree[x] == 1) {
       leaves.push_back(x);
       std::push_heap(leaves.begin(), leaves.end(), std::greater<>());
@@ -137,19 +145,69 @@ Graph make_random_tree(std::size_t n, support::Xoshiro256& rng) {
   const std::size_t a = leaves.back();
   leaves.pop_back();
   const std::size_t c = leaves.front();
-  b.add_edge(static_cast<Vertex>(a), static_cast<Vertex>(c));
+  b.add_edge(checked_u32(a), checked_u32(c));
   return b.build();
 }
 
-Graph make_gnp_connected(std::size_t n, double p, support::Xoshiro256& rng, int max_attempts) {
+namespace {
+
+// The historical G(n, p) sampler: one uniform01 draw per unordered pair, in
+// lexicographic (i, j) order. Golden artefacts pin this draw order exactly.
+void sample_gnp_dense(GraphBuilder& b, std::size_t n, double p, support::Xoshiro256& rng) {
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) {
+      if (rng.uniform01() < p) b.add_edge(i, j);
+    }
+  }
+}
+
+// Batagelj-Brandes geometric skip sampling (Phys. Rev. E 71, 036113): walk
+// the pairs {w, v}, w < v, in (v, w) order and jump directly to the next
+// present pair with a geometric skip of parameter p - one uniform01 draw
+// and one log per *edge*, expected O(n + m) instead of O(n^2). Each pair is
+// still independently present with probability p, so the sample is
+// distributed identically to the dense path; only the draw order (and hence
+// any particular seeded sample) differs. Requires p < 1 (no skip
+// distribution at p = 1; the caller routes that to the dense path).
+void sample_gnp_sparse(GraphBuilder& b, std::size_t n, double p, support::Xoshiro256& rng) {
+  const double log_q = std::log1p(-p);  // log(1 - p) < 0
+  long long v = 1;
+  long long w = -1;
+  const auto nn = static_cast<long long>(n);
+  while (v < nn) {
+    const double r = rng.uniform01();  // in [0, 1), so 1 - r > 0
+    const double skip = std::floor(std::log1p(-r) / log_q);
+    // Tiny p makes huge skips; saturate so the += below cannot overflow
+    // (the inner loop then walks v past n and terminates the sample).
+    w += 1 + (skip >= 4.0e18 ? static_cast<long long>(4.0e18)
+                             : static_cast<long long>(skip));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) b.add_edge(checked_u32(w), checked_u32(v));
+  }
+}
+
+}  // namespace
+
+Graph make_gnp_connected(std::size_t n, double p, support::Xoshiro256& rng, int max_attempts,
+                         GnpMethod method) {
   AVGLOCAL_EXPECTS(n >= 2);
   AVGLOCAL_EXPECTS(p > 0.0 && p <= 1.0);
+  // p = 1 is the complete graph and has no geometric skip distribution.
+  const bool sparse = p < 1.0 && (method == GnpMethod::kSparse ||
+                                  (method == GnpMethod::kAuto && n >= 512 && p <= 0.125));
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     GraphBuilder b(n);
-    for (Vertex i = 0; i < n; ++i) {
-      for (Vertex j = i + 1; j < n; ++j) {
-        if (rng.uniform01() < p) b.add_edge(i, j);
-      }
+    // Expected 2 * p * n(n-1)/2 arcs; the slack keeps one allocation typical
+    // without promising exactness (m is random here).
+    const double expected_arcs = p * static_cast<double>(n) * static_cast<double>(n - 1);
+    b.reserve_arcs(static_cast<std::size_t>(expected_arcs * 1.1) + 64);
+    if (sparse) {
+      sample_gnp_sparse(b, n, p, rng);
+    } else {
+      sample_gnp_dense(b, n, p, rng);
     }
     Graph g = b.build();
     if (is_connected(g)) return g;
@@ -185,6 +243,7 @@ Graph make_random_regular(std::size_t n, std::size_t d, support::Xoshiro256& rng
     std::sort(edges.begin(), edges.end());
     if (std::adjacent_find(edges.begin(), edges.end()) != edges.end()) continue;
     GraphBuilder b(n);
+    b.reserve_arcs(n * d);
     for (const auto& [u, v] : edges) b.add_edge(u, v);
     Graph g = b.build();
     if (is_connected(g)) return g;

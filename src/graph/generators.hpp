@@ -44,10 +44,23 @@ Graph make_kary_tree(std::size_t k, std::size_t levels);
 /// Pruefer sequence.
 Graph make_random_tree(std::size_t n, support::Xoshiro256& rng);
 
+/// How make_gnp_connected samples the pair set.
+///  * kDense:  one uniform01 draw per vertex pair - O(n^2) regardless of p,
+///    the historical path every golden artefact was recorded on.
+///  * kSparse: Batagelj-Brandes geometric skip sampling - one draw and one
+///    log per *edge*, expected O(n + m) time and O(m) memory. Statistically
+///    identical (every pair is independently present with probability p)
+///    but a different draw order, so it is a distribution twin, not a
+///    byte twin, of kDense.
+///  * kAuto:   kSparse once n is large and p small enough that the pair
+///    loop dominates (n >= 512 and p <= 1/8); kDense otherwise, so every
+///    small-n golden keeps its exact bytes.
+enum class GnpMethod { kAuto, kDense, kSparse };
+
 /// Erdos-Renyi G(n, p) conditioned on connectivity: samples until the graph
 /// is connected (throws std::runtime_error after max_attempts failures).
 Graph make_gnp_connected(std::size_t n, double p, support::Xoshiro256& rng,
-                         int max_attempts = 100);
+                         int max_attempts = 100, GnpMethod method = GnpMethod::kAuto);
 
 /// Random d-regular graph via the configuration model with rejection of
 /// self-loops/multi-edges and a connectivity check (throws after

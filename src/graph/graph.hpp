@@ -6,11 +6,22 @@
 // Port order is the insertion order chosen by the GraphBuilder, which lets
 // generators establish conventions (e.g. on a cycle, port 0 is the clockwise
 // successor and port 1 the counter-clockwise predecessor).
+//
+// Storage comes in two offset widths. The compact layout keeps the CSR row
+// offsets in 32 bits (vid32) - together with the 32-bit targets and mirror
+// ports this costs 8 bytes per directed arc plus 4 bytes per vertex, half
+// the footprint of size_t offsets and the layout the million-node sweeps
+// run on. Graphs whose arc count does not fit 32 bits fall back to 64-bit
+// offsets transparently; every accessor branches on one well-predicted
+// flag, and the two layouts are observationally identical (pinned by the
+// index-width parity suite in tests/test_large_scale.cpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "support/annotations.hpp"
 
 namespace avglocal::graph {
 
@@ -18,28 +29,33 @@ namespace avglocal::graph {
 /// vertex; it is *not* the identifier an algorithm sees (see IdAssignment).
 using Vertex = std::uint32_t;
 
+/// Narrow index type of the compact CSR layout: row offsets, mirror ports
+/// and arc indices when the graph's arc count fits 32 bits.
+using vid32 = std::uint32_t;
+
+/// Wide fallback index type for graphs beyond 2^32 directed arcs.
+using vid64 = std::uint64_t;
+
 /// An immutable undirected graph. Construct through GraphBuilder.
 class Graph {
  public:
   /// Number of vertices.
-  std::size_t vertex_count() const noexcept { return offsets_.size() - 1; }
+  std::size_t vertex_count() const noexcept { return n_; }
 
   /// Number of undirected edges.
   std::size_t edge_count() const noexcept { return targets_.size() / 2; }
 
   /// Degree of vertex v.
-  std::size_t degree(Vertex v) const noexcept {
-    return offsets_[v + 1] - offsets_[v];
-  }
+  std::size_t degree(Vertex v) const noexcept { return offset(v + 1) - offset(v); }
 
   /// Neighbours of v in port order.
   std::span<const Vertex> neighbours(Vertex v) const noexcept {
-    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+    return {targets_.data() + offset(v), targets_.data() + offset(v + 1)};
   }
 
   /// The neighbour of v on the given port (0 <= port < degree(v)).
   Vertex neighbour(Vertex v, std::size_t port) const noexcept {
-    return targets_[offsets_[v] + port];
+    return targets_[offset(v) + port];
   }
 
   /// True when u and v are adjacent. Linear in degree(u) - ad-hoc
@@ -60,27 +76,65 @@ class Graph {
   /// Flat CSR index of the arc leaving v on `port`: offsets[v] + port.
   /// Stable identifier for per-arc state (message slots, mirrors).
   std::size_t arc_index(Vertex v, std::size_t port) const noexcept {
-    return offsets_[v] + port;
+    return offset(v) + port;
   }
 
   /// The port on the far endpoint that leads back along the same edge:
   /// with u = neighbour(v, port), neighbour(u, mirror_port(v, port)) == v.
   /// O(1); precomputed by GraphBuilder.
   std::size_t mirror_port(Vertex v, std::size_t port) const noexcept {
-    return mirror_port_[offsets_[v] + port];
+    return mirror_port_[offset(v) + port];
+  }
+
+  /// True when row offsets are stored in 32 bits (the default whenever the
+  /// arc count fits; see GraphBuilder::build's OffsetWidth parameter).
+  bool compact_offsets() const noexcept { return offsets64_.empty(); }
+
+  /// Resident bytes of the CSR tables (offsets + targets + mirrors). What
+  /// the large_scale bench reports as bytes_per_arc = memory_bytes() / 2m.
+  std::size_t memory_bytes() const noexcept {
+    return offsets32_.size() * sizeof(vid32) + offsets64_.size() * sizeof(vid64) +
+           targets_.size() * sizeof(Vertex) + mirror_port_.size() * sizeof(vid32);
+  }
+
+  /// Prefetch hint for v's row-offset entry. Semantics-free (a prefetch
+  /// never changes a value); the ball-growth frontier loops issue this a
+  /// few vertices ahead of the scan.
+  void prefetch_offset(Vertex v) const noexcept {
+    if (compact_offsets()) {
+      AVGLOCAL_PREFETCH(offsets32_.data() + v);
+    } else {
+      AVGLOCAL_PREFETCH(offsets64_.data() + v);
+    }
+  }
+
+  /// Prefetch hint for the start of v's CSR target row. Reads the (ideally
+  /// already prefetched) offset entry, touches nothing else.
+  void prefetch_row(Vertex v) const noexcept {
+    AVGLOCAL_PREFETCH(targets_.data() + offset(v));
   }
 
  private:
   friend class GraphBuilder;
-  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> targets,
-        std::vector<std::uint32_t> mirror_port)
-      : offsets_(std::move(offsets)),
+  Graph(std::size_t n, std::vector<vid32> offsets32, std::vector<vid64> offsets64,
+        std::vector<Vertex> targets, std::vector<vid32> mirror_port)
+      : n_(n),
+        offsets32_(std::move(offsets32)),
+        offsets64_(std::move(offsets64)),
         targets_(std::move(targets)),
         mirror_port_(std::move(mirror_port)) {}
 
-  std::vector<std::size_t> offsets_;        // size n+1
-  std::vector<Vertex> targets_;             // size 2m, grouped by source vertex
-  std::vector<std::uint32_t> mirror_port_;  // size 2m, mirror_port_[arc]
+  /// Row offset of v in the active width. One branch on a flag that is
+  /// constant for the graph's lifetime - perfectly predicted in every loop.
+  std::size_t offset(Vertex v) const noexcept {
+    return compact_offsets() ? std::size_t{offsets32_[v]} : std::size_t{offsets64_[v]};
+  }
+
+  std::size_t n_ = 0;
+  std::vector<vid32> offsets32_;        // size n+1 when compact, else empty
+  std::vector<vid64> offsets64_;        // size n+1 when wide, else empty
+  std::vector<Vertex> targets_;         // size 2m, grouped by source vertex
+  std::vector<vid32> mirror_port_;      // size 2m, mirror_port_[arc]
 };
 
 }  // namespace avglocal::graph

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::graph {
 
@@ -55,7 +56,7 @@ IdAssignment IdAssignment::random(std::size_t n, support::Xoshiro256& rng) {
 
 std::uint32_t IdAssignment::argmax() const noexcept {
   const auto it = std::max_element(ids_.begin(), ids_.end());
-  return static_cast<std::uint32_t>(it - ids_.begin());
+  return support::checked_u32(it - ids_.begin());
 }
 
 IdAssignment IdAssignment::with_swapped(std::uint32_t u, std::uint32_t v) const {

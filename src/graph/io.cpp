@@ -6,6 +6,7 @@
 
 #include "graph/builder.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::graph {
 
@@ -26,7 +27,7 @@ Graph read_edge_list(std::istream& in) {
     std::size_t u = 0, v = 0;
     if (!(in >> u >> v)) throw std::invalid_argument("edge list: truncated edge section");
     if (u >= n || v >= n) throw std::invalid_argument("edge list: vertex out of range");
-    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    b.add_edge(support::checked_u32(u), support::checked_u32(v));
   }
   return b.build();
 }

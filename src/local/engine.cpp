@@ -7,6 +7,7 @@
 
 #include "local/message_arena.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::local {
 
@@ -50,7 +51,7 @@ class Engine {
       for (std::size_t q = 0; q < g.degree(v); ++q) {
         const graph::Vertex u = g.neighbour(v, q);
         mirror_arc_[g.arc_index(v, q)] =
-            static_cast<std::uint32_t>(g.arc_index(u, g.mirror_port(v, q)));
+            support::checked_u32(g.arc_index(u, g.mirror_port(v, q)));
       }
     }
     for (graph::Vertex v = 0; v < n; ++v) {

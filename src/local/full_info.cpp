@@ -7,6 +7,7 @@
 
 #include "local/wire.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::local {
 
@@ -211,7 +212,7 @@ class FullInfoNode final : public Algorithm {
       if (kv == nullptr) continue;
       for (const auto& [port, nbr] : kv->port_facts) {
         if (local_of(nbr) == kUnknownTarget) {
-          sorted_insert(local_ids_, {nbr, static_cast<LocalVertex>(order_.size())});
+          sorted_insert(local_ids_, {nbr, support::checked_u32(order_.size())});
           order_.push_back(nbr);
           view_.dist.push_back(dx + 1);
         }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 #include "support/simd.hpp"
 
 namespace avglocal::local {
@@ -22,15 +23,18 @@ AVGLOCAL_HOT void MessageArena::begin_round() noexcept {
 }
 
 bool MessageArena::push(std::size_t arc, std::span<const std::uint64_t> words) {
-  // Slot::length is 32 bits; reject rather than truncate (mirrors the
-  // 2^32-arc guard in GraphBuilder::build).
+  // Slot offsets and lengths are 32 bits; reject rather than truncate
+  // (mirrors the 2^32-arc guard in GraphBuilder::build). The offset guard
+  // bounds a whole round's payload arena at 2^32 words.
   AVGLOCAL_EXPECTS_MSG(words.size() <= std::numeric_limits<std::uint32_t>::max(),
                        "payload exceeds 2^32 words");
+  const std::size_t needed = used_words_ + words.size();
+  AVGLOCAL_EXPECTS_MSG(needed <= std::numeric_limits<std::uint32_t>::max(),
+                       "round payload exceeds 2^32 words");
   const std::uint64_t bit = std::uint64_t{1} << (arc & 63);
   std::uint64_t& mask = present_[arc >> 6];
   if (mask & bit) return false;
   mask |= bit;
-  const std::size_t needed = used_words_ + words.size();
   if (needed > words_.size()) {
     // Geometric growth: reallocations stop once the busiest round has been
     // seen, which is what makes rounds allocation-free at steady state.
@@ -39,7 +43,7 @@ bool MessageArena::push(std::size_t arc, std::span<const std::uint64_t> words) {
   // Bulk word move (memcpy-class), not a per-word loop: payloads are raw
   // uint64 words with no construction semantics.
   support::simd::copy_words(words_.data() + used_words_, words.data(), words.size());
-  slots_[arc] = Slot{used_words_, static_cast<std::uint32_t>(words.size())};
+  slots_[arc] = Slot{support::checked_u32(used_words_), support::checked_u32(words.size())};
   used_words_ = needed;
   ++messages_;
   return true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::local {
 
@@ -93,13 +94,9 @@ BallGrower::BallGrower(const graph::Graph& g, const graph::IdAssignment& ids, gr
   reset(root);
 }
 
-BallGrower::~BallGrower() {
-  for (graph::Vertex v : global_of_) scratch_->local_of_[v] = kUnknownTarget;
-}
-
 void BallGrower::reset(graph::Vertex root) {
   AVGLOCAL_EXPECTS(root < g_->vertex_count());
-  for (graph::Vertex v : global_of_) scratch_->local_of_[v] = kUnknownTarget;
+  scratch_->bump();  // retires the previous ball's membership in O(1)
   global_of_.clear();
   frontier_.clear();
   view_.radius = 0;
@@ -114,8 +111,8 @@ void BallGrower::reset(graph::Vertex root) {
 }
 
 LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
-  const auto local = static_cast<LocalVertex>(ids_store_.size());
-  scratch_->local_of_[v] = local;
+  const LocalVertex local = support::checked_u32(ids_store_.size());
+  set_local(v, local);
   global_of_.push_back(v);
   ids_store_.push_back(ids_->id_of(v));
   view_.ids = ids_store_;  // the push may have re-seated the store
@@ -127,8 +124,8 @@ LocalVertex BallGrower::add_vertex(graph::Vertex v, int dist) {
 
 void BallGrower::resolve_edge(graph::Vertex a, std::size_t port_a) {
   const graph::Vertex b = g_->neighbour(a, port_a);
-  const LocalVertex la = scratch_->local_of_[a];
-  const LocalVertex lb = scratch_->local_of_[b];
+  const LocalVertex la = local_at(a);
+  const LocalVertex lb = local_at(b);
   AVGLOCAL_ASSERT(la != kUnknownTarget && lb != kUnknownTarget);
   const std::size_t pb = g_->mirror_port(a, port_a);
   if (view_.ports[la][port_a] == kUnknownTarget) {
@@ -147,17 +144,25 @@ void BallGrower::grow() {
   if (view_.covers_graph) return;
 
   next_frontier_.clear();
+  // Prefetch distance along the frontier. The frontier was discovered in
+  // the previous grow(), so its CSR rows are cold; hinting a few vertices
+  // ahead overlaps the row fetch with the current vertex's scan. Hints
+  // only - the traversal order and results are unchanged.
+  constexpr std::size_t kAhead = 8;
   if (semantics_ == ViewSemantics::kInducedBall) {
     // Add the next layer; an edge becomes visible as soon as both endpoints
     // are in the ball.
-    for (graph::Vertex a : frontier_) {
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      if (i + kAhead < frontier_.size()) g_->prefetch_offset(frontier_[i + kAhead]);
+      if (i + kAhead / 2 < frontier_.size()) g_->prefetch_row(frontier_[i + kAhead / 2]);
+      const graph::Vertex a = frontier_[i];
       for (graph::Vertex b : g_->neighbours(a)) {
-        if (scratch_->local_of_[b] == kUnknownTarget) {
+        if (local_at(b) == kUnknownTarget) {
           add_vertex(b, view_.radius);
           next_frontier_.push_back(b);
           const auto nbrs = g_->neighbours(b);
           for (std::size_t pb = 0; pb < nbrs.size(); ++pb) {
-            if (scratch_->local_of_[nbrs[pb]] != kUnknownTarget) resolve_edge(b, pb);
+            if (local_at(nbrs[pb]) != kUnknownTarget) resolve_edge(b, pb);
           }
         }
       }
@@ -166,10 +171,13 @@ void BallGrower::grow() {
     // Flooding knowledge: growing to radius r+1 reveals the next vertex
     // layer plus every edge incident to the previous frontier (distance r),
     // i.e. edges with min endpoint distance <= r.
-    for (graph::Vertex a : frontier_) {
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      if (i + kAhead < frontier_.size()) g_->prefetch_offset(frontier_[i + kAhead]);
+      if (i + kAhead / 2 < frontier_.size()) g_->prefetch_row(frontier_[i + kAhead / 2]);
+      const graph::Vertex a = frontier_[i];
       const auto nbrs = g_->neighbours(a);
       for (std::size_t pa = 0; pa < nbrs.size(); ++pa) {
-        if (scratch_->local_of_[nbrs[pa]] == kUnknownTarget) {
+        if (local_at(nbrs[pa]) == kUnknownTarget) {
           add_vertex(nbrs[pa], view_.radius);
           next_frontier_.push_back(nbrs[pa]);
         }

@@ -14,7 +14,9 @@
 // They differ by at most one radius step and are cross-validated in tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -22,6 +24,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/ids.hpp"
+#include "support/narrow.hpp"
 
 namespace avglocal::local {
 
@@ -43,7 +46,7 @@ std::optional<ViewSemantics> view_semantics_from_name(std::string_view name) noe
 using LocalVertex = std::uint32_t;
 
 /// Sentinel for a port whose far end is not (yet) visible.
-inline constexpr LocalVertex kUnknownTarget = static_cast<LocalVertex>(-1);
+inline constexpr LocalVertex kUnknownTarget = std::numeric_limits<LocalVertex>::max();
 
 /// Jagged port rows stored in one flat CSR buffer: row v holds one slot per
 /// incident edge of the v-th ball vertex. Rows are appended in local-vertex
@@ -69,7 +72,7 @@ class PortTable {
   /// Appends a row of `degree` slots, all kUnknownTarget.
   void add_row(std::size_t degree) {
     targets_.resize(targets_.size() + degree, kUnknownTarget);
-    offsets_.push_back(targets_.size());
+    offsets_.push_back(support::checked_u32(targets_.size()));
   }
 
   /// clear() + `count` rows of `degree` slots each.
@@ -77,7 +80,9 @@ class PortTable {
     clear();
     offsets_.reserve(count + 1);
     targets_.assign(count * degree, kUnknownTarget);
-    for (std::size_t row = 1; row <= count; ++row) offsets_.push_back(row * degree);
+    for (std::size_t row = 1; row <= count; ++row) {
+      offsets_.push_back(support::checked_u32(row * degree));
+    }
   }
 
   /// Removes all rows; keeps capacity.
@@ -87,8 +92,12 @@ class PortTable {
   }
 
  private:
-  std::vector<std::size_t> offsets_ = {0};  // size rows+1
-  std::vector<LocalVertex> targets_;        // flat row storage
+  // 32-bit row offsets: a ball has at most 2m slots and build() caps arc
+  // counts at 2^32, so the narrow width always fits. Half the offset
+  // footprint of the old size_t rows - PortTable is the densest per-ball
+  // structure the sweeps keep resident per worker lane.
+  std::vector<graph::vid32> offsets_ = {0};  // size rows+1
+  std::vector<LocalVertex> targets_;         // flat row storage
 };
 
 /// The knowledge of one vertex after exploring radius `radius`.
@@ -165,13 +174,32 @@ std::optional<RingView> try_extract_ring_view(const BallView& view);
 class BallGrower {
  public:
   /// Scratch state shared by consecutive growers over the same graph.
+  ///
+  /// Epoch-stamped: local_of_[v] is meaningful only when stamp_[v] equals
+  /// the current epoch, so retiring a whole ball is one counter bump
+  /// instead of an O(ball) (originally O(n)) clear loop. Per-trial reset
+  /// cost therefore tracks the ball actually grown, not the graph - the
+  /// change that makes n=10^6 sweeps with small balls cheap.
   class Scratch {
    public:
-    explicit Scratch(std::size_t n) : local_of_(n, kUnknownTarget) {}
+    explicit Scratch(std::size_t n) : local_of_(n, 0), stamp_(n, 0) {}
 
    private:
     friend class BallGrower;
-    std::vector<LocalVertex> local_of_;
+
+    /// Starts a fresh epoch, invalidating every entry in O(1). On the
+    /// u32 wrap (once per 2^32 resets) the stamps are refilled so a
+    /// stale stamp from 2^32 epochs ago cannot alias the new one.
+    void bump() noexcept {
+      if (++epoch_ == 0) {
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        epoch_ = 1;
+      }
+    }
+
+    std::vector<LocalVertex> local_of_;  // valid iff stamp_[v] == epoch_
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t epoch_ = 0;  // first bump() makes it 1 > all stamps
   };
 
   /// Ball vertices in discovery order (local index -> global vertex).
@@ -195,7 +223,6 @@ class BallGrower {
 
   BallGrower(const BallGrower&) = delete;
   BallGrower& operator=(const BallGrower&) = delete;
-  ~BallGrower();
 
   /// Re-roots the grower at `root`, back at radius 0, reusing every buffer
   /// (view arrays, frontier, scratch). Running one grower over many roots
@@ -212,6 +239,18 @@ class BallGrower {
  private:
   void resolve_edge(graph::Vertex a, std::size_t port_a);
   LocalVertex add_vertex(graph::Vertex v, int dist);
+
+  /// Local index of v in the current ball, or kUnknownTarget when v has
+  /// not been added since the last reset (epoch check, no clears).
+  LocalVertex local_at(graph::Vertex v) const noexcept {
+    return scratch_->stamp_[v] == scratch_->epoch_ ? scratch_->local_of_[v]
+                                                   : kUnknownTarget;
+  }
+
+  void set_local(graph::Vertex v, LocalVertex local) noexcept {
+    scratch_->stamp_[v] = scratch_->epoch_;
+    scratch_->local_of_[v] = local;
+  }
 
   const graph::Graph* g_;
   const graph::IdAssignment* ids_;

@@ -8,9 +8,12 @@
 
 #include "support/aligned.hpp"
 #include "support/assert.hpp"
+#include "support/narrow.hpp"
 #include "support/simd.hpp"
 
 namespace avglocal::local {
+
+using support::checked_u32;
 
 namespace {
 
@@ -101,7 +104,7 @@ struct BatchedWorker {
   BatchedWorker(const graph::Graph& g, const graph::IdAssignment& geometry_ids,
                 ViewSemantics semantics, std::size_t trials)
       : scratch(g.vertex_count()), grower(g, geometry_ids, 0, semantics, scratch), slots(trials) {
-    for (std::size_t t = 0; t < trials; ++t) slots[t].trial = static_cast<std::uint32_t>(t);
+    for (std::size_t t = 0; t < trials; ++t) slots[t].trial = checked_u32(t);
   }
 
   /// Re-roots the shared geometry and its per-radius bookkeeping.
@@ -116,7 +119,7 @@ struct BatchedWorker {
   /// radius - what historical ids-only views are synthesized from.
   void grow_once() {
     grower.grow();
-    prefix.push_back(static_cast<std::uint32_t>(grower.global_vertices().size()));
+    prefix.push_back(checked_u32(grower.global_vertices().size()));
     if (covers_radius == SIZE_MAX && grower.view().covers_graph) {
       covers_radius = static_cast<std::size_t>(grower.view().radius);
     }
@@ -259,10 +262,10 @@ void run_batched_range(const graph::Graph& g, BatchedWorker& state,
       if (slot.algorithm == nullptr || !slot.algorithm->reset()) {
         slot.algorithm = factory();
         AVGLOCAL_REQUIRE_MSG(slot.algorithm != nullptr, "view algorithm factory returned null");
-        slot.min_radius = static_cast<std::uint32_t>(slot.algorithm->min_radius());
+        slot.min_radius = checked_u32(slot.algorithm->min_radius());
       }
       if (!evaluate(slot, slot.inline_ids.data())) {
-        state.active.push_back(static_cast<std::uint32_t>(k));
+        state.active.push_back(checked_u32(k));
       }
     }
     timer.lap(&BatchPhaseStats::eval_sec);
@@ -415,7 +418,7 @@ void run_views_batched(const graph::Graph& g, std::span<const graph::IdAssignmen
   support::ThreadPool* pool = options.pool;
   if (pool == nullptr || pool->size() == 1 || n == 1) {
     BatchedWorker state(g, geometry_ids, options.semantics, trials);
-    run_range_mode(state, options, 0, 0, static_cast<graph::Vertex>(n));
+    run_range_mode(state, options, 0, 0, checked_u32(n));
     return;
   }
 
@@ -436,8 +439,7 @@ void run_views_batched(const graph::Graph& g, std::span<const graph::IdAssignmen
     if (!state) {
       state = std::make_unique<BatchedWorker>(g, geometry_ids, options.semantics, trials);
     }
-    run_range_mode(*state, parallel_options, worker, static_cast<graph::Vertex>(begin),
-                   static_cast<graph::Vertex>(end));
+    run_range_mode(*state, parallel_options, worker, checked_u32(begin), checked_u32(end));
   });
 }
 
@@ -454,7 +456,7 @@ RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
   if (pool == nullptr || pool->size() == 1 || n == 1) {
     BallGrower::Scratch scratch(n);
     BallGrower grower(g, ids, 0, options.semantics, scratch);
-    run_range(g, grower, factory, options, 0, static_cast<graph::Vertex>(n), result);
+    run_range(g, grower, factory, options, 0, checked_u32(n), result);
     return result;
   }
 
@@ -474,8 +476,7 @@ RunResult run_views(const graph::Graph& g, const graph::IdAssignment& ids,
   pool->for_range(n, grain, [&](std::size_t worker, std::size_t begin, std::size_t end) {
     auto& state = states[worker];
     if (!state) state = std::make_unique<WorkerState>(g, ids, options.semantics);
-    run_range(g, state->grower, factory, options, static_cast<graph::Vertex>(begin),
-              static_cast<graph::Vertex>(end), result);
+    run_range(g, state->grower, factory, options, checked_u32(begin), checked_u32(end), result);
   });
   return result;
 }

@@ -20,3 +20,14 @@
 #else
 #define AVGLOCAL_HOT
 #endif
+
+// AVGLOCAL_PREFETCH(addr) issues a read prefetch hint for the cache line at
+// `addr`. Semantics-free by definition: a prefetch can never change a value,
+// so annotated paths stay bit-identical with the hint compiled out (MSVC,
+// or any future toolchain without the builtin). Used by the ball-growth
+// frontier loops to pull the next frontier's CSR rows ahead of the scan.
+#if defined(__GNUC__) || defined(__clang__)
+#define AVGLOCAL_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define AVGLOCAL_PREFETCH(addr) ((void)0)
+#endif

@@ -1,0 +1,45 @@
+// Checked narrowing for vertex and arc indices.
+//
+// The compact-CSR layout stores offsets, mirror ports and local indices in
+// 32 bits (graph::vid32). Every conversion from a 64-bit quantity (sizes,
+// arc counts, loop counters) down to 32 bits must go through the helpers
+// here: they debug-assert the value fits, so a silent truncation cannot
+// ship, and they are the one sanctioned home of the cast - the
+// `narrowing-index` lint check (tools/lint) rejects raw
+// static_cast<std::uint32_t> / static_cast<Vertex> / static_cast<LocalVertex>
+// anywhere else in src/.
+//
+// The helpers are assert-checked, not throw-checked: callers own the
+// release-mode guarantee that the value fits (e.g. GraphBuilder only picks
+// compact offsets when the arc count fits, so every later narrowing is
+// safe by construction). Paths where the bound is input-dependent guard
+// with AVGLOCAL_EXPECTS first and narrow after.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "support/assert.hpp"
+
+namespace avglocal::support {
+
+/// checked_narrow<To>(v): static_cast<To>(v) with a debug assert that the
+/// value round-trips. The only raw index-narrowing cast in src/.
+template <typename To, typename From>
+constexpr To checked_narrow(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  static_assert(std::is_unsigned_v<To>, "index types are unsigned");
+  AVGLOCAL_ASSERT(static_cast<std::uintmax_t>(value) <=
+                  static_cast<std::uintmax_t>(std::numeric_limits<To>::max()));
+  return static_cast<To>(value);
+}
+
+/// The dominant case: a size_t-ish quantity into a 32-bit vertex/arc/port
+/// index (graph::Vertex, local::LocalVertex, graph::vid32 are all uint32).
+template <typename From>
+constexpr std::uint32_t checked_u32(From value) noexcept {
+  return checked_narrow<std::uint32_t>(value);
+}
+
+}  // namespace avglocal::support

@@ -59,6 +59,28 @@ inline void gather_u64(std::uint64_t* dst, const std::uint64_t* src, const std::
   for (std::size_t k = 0; k < count; ++k) dst[k] = src[idx[k]];
 }
 
+/// dst[k] = src[idx[k]] for k in [0, count), 32-bit values. The compact-CSR
+/// twin of gather_u64: half the bytes per element means twice the gather
+/// lanes per vector register on the AVX2 path.
+inline void gather_u32(std::uint32_t* dst, const std::uint32_t* src, const std::uint32_t* idx,
+                       std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) dst[k] = src[idx[k]];
+}
+
+/// dst[k] = max(radii[us[k]], radii[vs[k]]) for k in [0, count): the edge
+/// time of canonical edge k under the radius profile `radii` (an edge is
+/// decided when its slower endpoint is). SoA endpoint arrays so the vector
+/// path is two gathers and a max.
+inline void edge_times_u32(std::uint32_t* dst, const std::uint32_t* radii,
+                           const std::uint32_t* us, const std::uint32_t* vs,
+                           std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t a = radii[us[k]];
+    const std::uint32_t b = radii[vs[k]];
+    dst[k] = a > b ? a : b;
+  }
+}
+
 /// heads[j][dst_begin + r] = rows[row_index[r] * row_stride + cols[j]] for
 /// r in [0, row_count), j in [0, col_count). The original lockstep gather:
 /// one contiguous transpose row per ball vertex, scattered over the
@@ -240,6 +262,40 @@ __attribute__((target("avx2"))) inline void gather_u64(std::uint64_t* dst,
   for (; k < count; ++k) dst[k] = src[idx[k]];
 }
 
+__attribute__((target("avx2"))) inline void gather_u32(std::uint32_t* dst,
+                                                       const std::uint32_t* src,
+                                                       const std::uint32_t* idx,
+                                                       std::size_t count) {
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m256i vidx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + k),
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(src), vidx, 4));
+  }
+  for (; k < count; ++k) dst[k] = src[idx[k]];
+}
+
+__attribute__((target("avx2"))) inline void edge_times_u32(std::uint32_t* dst,
+                                                           const std::uint32_t* radii,
+                                                           const std::uint32_t* us,
+                                                           const std::uint32_t* vs,
+                                                           std::size_t count) {
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m256i iu = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(us + k));
+    const __m256i iv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs + k));
+    const __m256i a = _mm256_i32gather_epi32(reinterpret_cast<const int*>(radii), iu, 4);
+    const __m256i b = _mm256_i32gather_epi32(reinterpret_cast<const int*>(radii), iv, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), _mm256_max_epu32(a, b));
+  }
+  for (; k < count; ++k) {
+    const std::uint32_t a = radii[us[k]];
+    const std::uint32_t b = radii[vs[k]];
+    dst[k] = a > b ? a : b;
+  }
+}
+
 }  // namespace avx2
 
 /// One cpuid probe per process; every dispatch below branches on it.
@@ -331,6 +387,29 @@ AVGLOCAL_HOT inline void gather_u64(std::uint64_t* dst, const std::uint64_t* src
   if (have_avx2()) return avx2::gather_u64(dst, src, idx, count);
 #endif
   scalar::gather_u64(dst, src, idx, count);
+}
+
+/// dst[k] = src[idx[k]] for k in [0, count), 32-bit values (see
+/// scalar::gather_u32). Eight lanes per AVX2 gather - the doubled lane
+/// width the compact-CSR tables buy.
+AVGLOCAL_HOT inline void gather_u32(std::uint32_t* dst, const std::uint32_t* src,
+                                    const std::uint32_t* idx, std::size_t count) {
+#if defined(AVGLOCAL_SIMD_X86)
+  if (have_avx2()) return avx2::gather_u32(dst, src, idx, count);
+#endif
+  scalar::gather_u32(dst, src, idx, count);
+}
+
+/// Edge times over a radius profile (see scalar::edge_times_u32 for the
+/// contract). Max of two unsigned gathers - no arithmetic that could
+/// reorder or round, so vector and scalar are bit-identical.
+AVGLOCAL_HOT inline void edge_times_u32(std::uint32_t* dst, const std::uint32_t* radii,
+                                        const std::uint32_t* us, const std::uint32_t* vs,
+                                        std::size_t count) {
+#if defined(AVGLOCAL_SIMD_X86)
+  if (have_avx2()) return avx2::edge_times_u32(dst, radii, us, vs, count);
+#endif
+  scalar::edge_times_u32(dst, radii, us, vs, count);
 }
 
 /// The lockstep layer gather (see scalar::layer_gather for the contract).

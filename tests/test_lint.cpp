@@ -120,6 +120,18 @@ TEST(LintFixtures, WorkerIndexAddressingStaysLegal) {
   EXPECT_TRUE(lint_fixture("thread_id_clean.cpp").empty());
 }
 
+TEST(LintFixtures, NarrowingIndexFires) {
+  const auto diags = lint_fixture("narrowing_index_fire.cpp");
+  ASSERT_EQ(diags.size(), 4u) << "Vertex, std::uint32_t, LocalVertex, vid32 targets";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "narrowing-index");
+}
+
+TEST(LintFixtures, CheckedNarrowingAndWideningStayLegal) {
+  // checked_u32, widening casts, double casts and plain u32 declarations
+  // must not fire; only a raw narrowing cast target does.
+  EXPECT_TRUE(lint_fixture("narrowing_index_clean.cpp").empty());
+}
+
 TEST(LintFixtures, AllowCommentSuppressesBothPlacements) {
   EXPECT_TRUE(lint_fixture("suppression.cpp").empty());
 }
@@ -245,6 +257,7 @@ TEST(LintChecks, FireFixturesFireOnlyTheirOwnCheck) {
       {"core/float_accumulation_fire.cpp", "float-accumulation"},
       {"hot_path_alloc_fire.cpp", "hot-path-alloc"},
       {"thread_id_fire.cpp", "thread-id-dependence"},
+      {"narrowing_index_fire.cpp", "narrowing-index"},
   };
   for (const auto& [fixture, check] : cases) {
     for (const std::string& name : check_names(lint_fixture(fixture))) {

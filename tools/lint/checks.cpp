@@ -432,6 +432,40 @@ void check_thread_id(const SourceFile& file, const std::vector<FunctionSpan>&,
   }
 }
 
+// ------------------------------------------------------------------------
+// Check 6: narrowing-index.
+// ------------------------------------------------------------------------
+
+void check_narrowing_index(const SourceFile& file, const std::vector<FunctionSpan>&,
+                           std::vector<Diagnostic>& out) {
+  // support/narrow.* is the one sanctioned home of the raw cast.
+  if (path_contains(file.path, "support/narrow.")) return;
+  Reporter r(file, "narrowing-index", out);
+
+  // The 32-bit index types of the compact-CSR layout. "uint32_t" also
+  // matches the std::-qualified spelling (qualifiers lex as separate
+  // tokens).
+  static const std::unordered_set<std::string> kIndexTypes = {
+      "Vertex", "LocalVertex", "vid32", "uint32_t",
+  };
+
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "static_cast") || !is_punct(toks[i + 1], "<")) continue;
+    // Index types are simple (possibly namespace-qualified) names, so a
+    // bounded scan to the closing '>' sees the whole target type.
+    for (std::size_t k = i + 2; k < std::min(toks.size(), i + 8); ++k) {
+      if (is_punct(toks[k], ">")) break;
+      if (toks[k].kind == TokenKind::kIdentifier && kIndexTypes.count(toks[k].text) != 0) {
+        r.report(toks[i], "raw static_cast to 32-bit index type '" + toks[k].text +
+                              "': narrow through support::checked_u32 / checked_narrow "
+                              "(support/narrow.hpp) so a silent truncation cannot ship");
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<CheckInfo>& all_checks() {
@@ -448,6 +482,9 @@ const std::vector<CheckInfo>& all_checks() {
        "allocation-capable calls inside AVGLOCAL_HOT functions (static alloc_hook complement)"},
       {"thread-id-dependence",
        "std::thread::id / get_id / pthread_self: worker identity must never feed values"},
+      {"narrowing-index",
+       "raw static_cast to a 32-bit vertex/arc index type outside support/narrow.* "
+       "(use checked_u32 / checked_narrow)"},
   };
   return kChecks;
 }
@@ -470,6 +507,7 @@ std::vector<Diagnostic> run_checks(const SourceFile& file, const std::set<std::s
   if (on("float-accumulation")) check_float_accumulation(file, spans, out);
   if (on("hot-path-alloc")) check_hot_path_alloc(file, spans, out);
   if (on("thread-id-dependence")) check_thread_id(file, spans, out);
+  if (on("narrowing-index")) check_narrowing_index(file, spans, out);
 
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.line != b.line) return a.line < b.line;

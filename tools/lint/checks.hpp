@@ -25,6 +25,13 @@
 //                          pthread_self anywhere: worker identity must
 //                          never feed values (workers are addressed by
 //                          stable indices instead)
+//   narrowing-index        raw static_cast to a 32-bit vertex/arc index
+//                          type (graph::Vertex, local::LocalVertex,
+//                          graph::vid32, std::uint32_t) outside
+//                          support/narrow.* - the compact-CSR layout makes
+//                          silent 64->32 truncation a correctness bug, so
+//                          every narrowing goes through the assert-checked
+//                          checked_u32 / checked_narrow helpers
 //
 // Suppression: `// avglocal-lint: allow(check-name)` on the same or the
 // preceding line. Every suppression is visible in review - there are no

@@ -1,0 +1,33 @@
+// Fixture: the sanctioned patterns around 32-bit indices - checked
+// narrowing helpers, widening casts, non-index casts and plain u32
+// declarations (a cast target is required; mentions elsewhere are legal).
+// Expected: 0 diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Vertex = std::uint32_t;
+
+namespace support {
+template <typename From>
+std::uint32_t checked_u32(From v) {
+  return static_cast<std::uint32_t>(v);  // avglocal-lint: allow(narrowing-index)
+}
+}  // namespace support
+
+Vertex successor(std::size_t i, std::size_t n) {
+  return support::checked_u32((i + 1) % n);  // the sanctioned helper
+}
+
+std::uint64_t widen(Vertex v) {
+  return static_cast<std::uint64_t>(v);  // widening: always safe
+}
+
+double ratio(Vertex v, std::size_t n) {
+  return static_cast<double>(v) / static_cast<double>(n);  // not an index cast
+}
+
+std::vector<std::uint32_t> radii_row(std::size_t n) {
+  std::vector<std::uint32_t> row(n, 0);  // declaration, not a cast
+  return row;
+}

@@ -1,0 +1,26 @@
+// Fixture: raw narrowing casts to 32-bit index types.
+// Expected: 4 narrowing-index diagnostics (Vertex, std::uint32_t,
+// LocalVertex, vid32 targets).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Vertex = std::uint32_t;
+using LocalVertex = std::uint32_t;
+using vid32 = std::uint32_t;
+
+Vertex successor(std::size_t i, std::size_t n) {
+  return static_cast<Vertex>((i + 1) % n);  // fires: Vertex target
+}
+
+std::uint32_t dense_index(const std::vector<std::uint64_t>& ids, std::size_t pos) {
+  return static_cast<std::uint32_t>(ids[pos]);  // fires: uint32_t target
+}
+
+LocalVertex next_local(std::size_t order_size) {
+  return static_cast<LocalVertex>(order_size);  // fires: LocalVertex target
+}
+
+vid32 arc_offset(std::size_t flat) {
+  return static_cast<vid32>(flat);  // fires: vid32 target
+}
