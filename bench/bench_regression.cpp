@@ -29,6 +29,7 @@
 // Usage: bench_regression [--smoke] [--out PATH] [--n N] [--trials T]
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -44,6 +45,7 @@
 #include "algo/largest_id.hpp"
 #include "core/batched_sweep.hpp"
 #include "core/message_sweep.hpp"
+#include "core/result_cache.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep_driver.hpp"
 #include "graph/builder.hpp"
@@ -1059,6 +1061,126 @@ LargeScaleNumbers bench_large_scale(bool smoke) {
   return out;
 }
 
+// ------------------------------------------------------------------------
+// Sweep-as-a-service: the serve block. The daemon's performance claim is
+// that a warm repeat costs a memo lookup, not a sweep, and that an
+// extension costs only the missing trial range. Measured directly on
+// core::ResultCache (the daemon minus the socket - the cache IS the serve
+// hot path), with byte-identity against the monolithic run_scenario
+// asserted on every leg, smoke included:
+//  * cold_ms / warm_ms: first-request and repeat-request latency for the
+//    same scenario; warm_over_cold_speedup gated >= 5 in full runs;
+//  * extension_ms: a 2x-trials request over the cached partial - computes
+//    only the tail, still bit-identical to a monolithic double-length run;
+//  * warm_requests_per_sec: 4 concurrent clients hammering warm repeats,
+//    the daemon's steady-state serving rate.
+// ------------------------------------------------------------------------
+
+struct ServeNumbers {
+  std::size_t trials = 0;
+  double cold_ms = 0;
+  double warm_ms = 0;
+  double extension_ms = 0;
+  double warm_over_cold_speedup = 0;
+  double warm_requests_per_sec = 0;
+  std::size_t concurrent_clients = 4;
+};
+
+ServeNumbers bench_serve(bool smoke) {
+  ServeNumbers out;
+  out.trials = smoke ? 8 : 96;
+
+  core::ScenarioSpec spec;
+  spec.family = {"cycle", {}};
+  spec.algorithm = "largest-id";
+  spec.ns = smoke ? std::vector<std::size_t>{64, 128} : std::vector<std::size_t>{256, 512};
+  spec.seed = 7;
+  spec.schedule.max_trials = out.trials;
+
+  const auto monolithic = [](const core::ScenarioSpec& s) {
+    const core::ScenarioResult result = core::run_scenario(s);
+    return core::sweep_report_json(result.spec, result.points);
+  };
+  const std::string reference = monolithic(spec);
+
+  core::ResultCache cache;
+
+  // Cold: the first request builds graphs, engines and runs every trial.
+  {
+    const auto start = Clock::now();
+    const core::ResultCacheOutcome cold = cache.sweep(spec);
+    out.cold_ms = seconds_since(start) * 1e3;
+    if (cold.report != reference) {
+      std::cerr << "bench_regression: cold serve report diverged from run_scenario\n";
+      std::exit(2);
+    }
+  }
+
+  // Warm: best-of-N repeats; every one must be a zero-trial memo hit.
+  {
+    const std::size_t reps = smoke ? 16 : 256;
+    double best = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      const core::ResultCacheOutcome warm = cache.sweep(spec);
+      const double elapsed = seconds_since(start) * 1e3;
+      if (rep == 0 || elapsed < best) best = elapsed;
+      if (!warm.warm || warm.trials_computed != 0 || warm.report != reference) {
+        std::cerr << "bench_regression: warm serve repeat was not a pure cache hit\n";
+        std::exit(2);
+      }
+    }
+    out.warm_ms = best;
+  }
+  out.warm_over_cold_speedup = out.warm_ms > 0 ? out.cold_ms / out.warm_ms : 0;
+
+  // Extension: double the trials; only the tail may run, and the merged
+  // report must match a monolithic double-length sweep bit for bit.
+  {
+    core::ScenarioSpec extended = spec;
+    extended.schedule.max_trials = out.trials * 2;
+    const std::string extended_reference = monolithic(extended);
+    const auto start = Clock::now();
+    const core::ResultCacheOutcome extension = cache.sweep(extended);
+    out.extension_ms = seconds_since(start) * 1e3;
+    if (extension.trials_computed != out.trials * spec.ns.size() ||
+        extension.report != extended_reference) {
+      std::cerr << "bench_regression: serve extension diverged from the monolithic sweep\n";
+      std::exit(2);
+    }
+  }
+
+  // Steady state: 4 concurrent clients issuing warm repeats, the mix a
+  // long-lived daemon actually serves. Every reply is identity-checked.
+  {
+    const std::size_t per_client = smoke ? 32 : 512;
+    std::vector<std::thread> clients;
+    std::atomic<bool> diverged{false};
+    const auto start = Clock::now();
+    for (std::size_t c = 0; c < out.concurrent_clients; ++c) {
+      clients.emplace_back([&] {
+        for (std::size_t rep = 0; rep < per_client; ++rep) {
+          const core::ResultCacheOutcome warm = cache.sweep(spec);
+          if (warm.trials_computed != 0 || warm.report != reference) {
+            diverged.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double elapsed = seconds_since(start);
+    if (diverged.load(std::memory_order_relaxed)) {
+      std::cerr << "bench_regression: concurrent warm serve replies diverged\n";
+      std::exit(2);
+    }
+    out.warm_requests_per_sec =
+        static_cast<double>(out.concurrent_clients * per_client) / elapsed;
+  }
+
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1107,6 +1229,7 @@ int main(int argc, char** argv) {
   const LayerJumpNumbers layer_jump = bench_layer_jump(n, trials, /*seed=*/42);
   const local::BatchPhaseStats phases = bench_phase_breakdown(n, trials, /*seed=*/42);
   const LargeScaleNumbers large_scale = bench_large_scale(smoke);
+  const ServeNumbers serve = bench_serve(smoke);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -1203,6 +1326,17 @@ int main(int argc, char** argv) {
   json.key("ring_rounds_per_sec").value(large_scale.ring_rounds_per_sec);
   json.key("peak_rss_bytes").value(static_cast<std::uint64_t>(large_scale.peak_rss_bytes));
   json.end_object();
+  json.key("serve").begin_object();
+  json.key("topology").value("cycle");
+  json.key("algorithm").value("largest-id");
+  json.key("trials").value(static_cast<std::uint64_t>(serve.trials));
+  json.key("cold_ms").value(serve.cold_ms);
+  json.key("warm_ms").value(serve.warm_ms);
+  json.key("extension_ms").value(serve.extension_ms);
+  json.key("warm_over_cold_speedup").value(serve.warm_over_cold_speedup);
+  json.key("concurrent_clients").value(static_cast<std::uint64_t>(serve.concurrent_clients));
+  json.key("warm_requests_per_sec").value(serve.warm_requests_per_sec);
+  json.end_object();
   json.end_object();
 
   std::ofstream file(out_path);
@@ -1284,6 +1418,16 @@ int main(int argc, char** argv) {
     std::cerr << "bench_regression: compact CSR speedup " << large_scale.compact_csr_speedup
               << " < 1.2\n";
     return 12;
+  }
+  // The serve cache's reason to exist: a warm repeat is a memo lookup, a
+  // cold run is a full sweep. The true ratio is orders of magnitude; 5x
+  // catches a cache that silently recomputes without tripping on timer
+  // granularity. The byte-identity checks inside bench_serve ran on every
+  // leg regardless (smoke included).
+  if (!smoke && serve.warm_over_cold_speedup < 5.0) {
+    std::cerr << "bench_regression: warm-over-cold serve speedup " << serve.warm_over_cold_speedup
+              << " < 5\n";
+    return 13;
   }
   return 0;
 }

@@ -31,12 +31,24 @@
 // shards are retried, artefacts merged bit-identically):
 //   avglocal_cli drive --algo largest-id --graph gnp:avg-degree=6
 //                      --ns 1024,4096 --trials 1000 --shards 4 --json sweep.json
+//
+// Or keep the engines resident: `serve` runs a daemon over a Unix-domain
+// socket with a content-addressed result cache (repeat requests are free,
+// trial extensions compute only the missing range), `request` is its
+// client - the saved report is byte-identical to a one-shot sweep's:
+//   avglocal_cli serve --socket /tmp/avglocal.sock --threads 4 &
+//   avglocal_cli request --socket /tmp/avglocal.sock --algo largest-id
+//                        --graph cycle --ns 1024 --trials 500 --json sweep.json
+//   avglocal_cli request --socket /tmp/avglocal.sock --op shutdown
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -52,14 +64,17 @@
 #include "core/measure.hpp"
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
+#include "core/serve.hpp"
 #include "core/shard.hpp"
 #include "graph/family_registry.hpp"
 #include "graph/ids.hpp"
 #include "local/engine.hpp"
 #include "local/view_engine.hpp"
 #include "support/csv.hpp"
+#include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
+#include "support/socket.hpp"
 
 extern char** environ;
 
@@ -75,12 +90,72 @@ local::ViewSemantics parse_semantics(const std::string& name) {
   return *semantics;
 }
 
-std::vector<std::size_t> parse_size_list(const std::string& text) {
+// Checked numeric flag parsing. Bare std::stoull would throw an uncaught
+// exception on garbage and - worse - silently wrap "-1" to 2^64-1, so
+// every numeric flag goes through these: strict syntax (digits only /
+// full-string doubles), overflow rejected, and on failure the offending
+// flag is named on stderr and the parser bails with the usage exit (2).
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_f64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool flag_error(const std::string& text, const char* flag) {
+  std::cerr << "invalid value '" << text << "' for " << flag << "\n";
+  return false;
+}
+
+bool u64_flag(const std::string& text, const char* flag, std::uint64_t& out) {
+  const auto parsed = parse_u64(text);
+  if (!parsed) return flag_error(text, flag);
+  out = *parsed;
+  return true;
+}
+
+bool size_flag(const std::string& text, const char* flag, std::size_t& out) {
+  // size_t and uint64_t coincide on every platform this CLI targets.
+  const auto parsed = parse_u64(text);
+  if (!parsed) return flag_error(text, flag);
+  out = static_cast<std::size_t>(*parsed);
+  return true;
+}
+
+bool f64_flag(const std::string& text, const char* flag, double& out) {
+  const auto parsed = parse_f64(text);
+  if (!parsed) return flag_error(text, flag);
+  out = *parsed;
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> parse_size_list(const std::string& text) {
   std::vector<std::size_t> values;
   std::stringstream stream(text);
   std::string item;
-  while (std::getline(stream, item, ',')) values.push_back(std::stoull(item));
-  if (values.empty()) throw std::invalid_argument("empty size list");
+  while (std::getline(stream, item, ',')) {
+    const auto parsed = parse_u64(item);
+    if (!parsed) return std::nullopt;
+    values.push_back(static_cast<std::size_t>(*parsed));
+  }
+  if (values.empty()) return std::nullopt;
   return values;
 }
 
@@ -130,59 +205,6 @@ void print_points(const std::vector<core::ScenarioPoint>& points, bool adaptive)
                 << sp.point.trials << " trials (half-width " << sp.half_width << ")\n";
     }
   }
-}
-
-/// The sweep report document. Produced identically by the monolithic
-/// `sweep`, by `merge` and by `drive`, so artefact-path outputs can be
-/// compared byte-for-byte against the monolithic run (CI does).
-std::string sweep_report_json(const core::ScenarioSpec& spec,
-                              const std::vector<core::ScenarioPoint>& points) {
-  support::JsonWriter json;
-  json.begin_object();
-  json.key("avglocal_sweep").value(std::uint64_t{3});
-  json.key("scenario");
-  core::write_scenario_json(json, spec);
-  json.key("points").begin_array();
-  for (const auto& sp : points) {
-    const auto& p = sp.point;
-    json.begin_object();
-    json.key("n").value(static_cast<std::uint64_t>(p.n));
-    json.key("trials").value(static_cast<std::uint64_t>(p.trials));
-    json.key("converged").value(sp.converged);
-    json.key("half_width").value(sp.half_width);
-    json.key("avg_mean").value(p.avg_mean);
-    json.key("avg_sd").value(p.avg_sd);
-    json.key("avg_worst").value(p.avg_worst);
-    json.key("max_mean").value(p.max_mean);
-    json.key("max_worst").value(static_cast<std::uint64_t>(p.max_worst));
-    json.key("radius_mean").value(p.radius.mean);
-    json.key("radius_max").value(static_cast<std::uint64_t>(p.radius.max));
-    json.key("quantile_probs").begin_array();
-    for (double q : p.radius.probs) json.value(q);
-    json.end_array();
-    json.key("quantiles").begin_array();
-    for (std::size_t r : p.radius.quantiles) json.value(static_cast<std::uint64_t>(r));
-    json.end_array();
-    json.key("node_mean_min").value(p.node_mean_min);
-    json.key("node_mean_max").value(p.node_mean_max);
-    if (!p.node_mean.empty()) {
-      json.key("node_mean").begin_array();
-      for (double m : p.node_mean) json.value(m);
-      json.end_array();
-    }
-    json.key("edges").value(static_cast<std::uint64_t>(p.edges));
-    json.key("edge_avg_mean").value(p.edge_avg_mean);
-    json.key("edge_avg_sd").value(p.edge_avg_sd);
-    json.key("edge_time_mean").value(p.edge_time.mean);
-    json.key("edge_time_max").value(static_cast<std::uint64_t>(p.edge_time.max));
-    json.key("edge_quantiles").begin_array();
-    for (std::size_t r : p.edge_time.quantiles) json.value(static_cast<std::uint64_t>(r));
-    json.end_array();
-    json.end_object();
-  }
-  json.end_array();
-  json.end_object();
-  return json.str();
 }
 
 // ---------------------------------------------------------------- list ----
@@ -239,6 +261,8 @@ void usage() {
                "       avglocal_cli sweep ...     (batched/adaptive/sharded sweeps; --help)\n"
                "       avglocal_cli merge ...     (recombine shard artefacts; --help)\n"
                "       avglocal_cli drive ...     (multi-process sharded sweep; --help)\n"
+               "       avglocal_cli serve ...     (resident sweep daemon + result cache; --help)\n"
+               "       avglocal_cli request ...   (client for a running daemon; --help)\n"
                "  names resolve through the scenario registries; `list` prints them.\n";
 }
 
@@ -257,9 +281,9 @@ std::optional<RunOptions> parse_run(int argc, char** argv) {
     } else if (arg == "--graph" && (value = next())) {
       options.graph = *value;
     } else if (arg == "--n" && (value = next())) {
-      options.n = std::stoull(*value);
+      if (!size_flag(*value, "--n", options.n)) return std::nullopt;
     } else if (arg == "--seed" && (value = next())) {
-      options.seed = std::stoull(*value);
+      if (!u64_flag(*value, "--seed", options.seed)) return std::nullopt;
     } else if (arg == "--semantics" && (value = next())) {
       options.semantics = *value;
     } else if (arg == "--csv" && (value = next())) {
@@ -383,45 +407,60 @@ std::optional<SweepCliOptions> parse_sweep(int argc, char** argv, int first, boo
     } else if (arg == "--graph" && (value = next())) {
       options.spec.family = graph::parse_family_spec(*value);
     } else if (arg == "--ns" && (value = next())) {
-      options.spec.ns = parse_size_list(*value);
+      const auto sizes = parse_size_list(*value);
+      if (!sizes) {
+        flag_error(*value, "--ns");
+        return std::nullopt;
+      }
+      options.spec.ns = *sizes;
     } else if (arg == "--trials" && (value = next())) {
-      options.spec.schedule.max_trials = std::stoull(*value);
+      if (!size_flag(*value, "--trials", options.spec.schedule.max_trials)) return std::nullopt;
     } else if (arg == "--seed" && (value = next())) {
-      options.spec.seed = std::stoull(*value);
+      if (!u64_flag(*value, "--seed", options.spec.seed)) return std::nullopt;
     } else if (arg == "--semantics" && (value = next())) {
       options.spec.semantics = parse_semantics(*value);
     } else if (arg == "--threads" && (value = next())) {
-      options.threads = std::stoull(*value);
+      if (!size_flag(*value, "--threads", options.threads)) return std::nullopt;
     } else if (arg == "--batch" && (value = next())) {
-      options.batch = std::stoull(*value);
+      if (!size_flag(*value, "--batch", options.batch)) return std::nullopt;
     } else if (arg == "--node-profile") {
       options.spec.node_profile = true;
     } else if (arg == "--target-hw" && (value = next())) {
-      options.spec.schedule.target_half_width = std::stod(*value);
+      if (!f64_flag(*value, "--target-hw", options.spec.schedule.target_half_width)) {
+        return std::nullopt;
+      }
     } else if (arg == "--min-trials" && (value = next())) {
-      options.spec.schedule.min_trials = std::stoull(*value);
+      if (!size_flag(*value, "--min-trials", options.spec.schedule.min_trials)) {
+        return std::nullopt;
+      }
     } else if (arg == "--adaptive-batch" && (value = next())) {
-      options.spec.schedule.batch = std::stoull(*value);
+      if (!size_flag(*value, "--adaptive-batch", options.spec.schedule.batch)) {
+        return std::nullopt;
+      }
     } else if (arg == "--z" && (value = next())) {
-      options.spec.schedule.z = std::stod(*value);
+      if (!f64_flag(*value, "--z", options.spec.schedule.z)) return std::nullopt;
     } else if (arg == "--json" && (value = next())) {
       options.json_path = *value;
     } else if (!drive && arg == "--shard" && (value = next())) {
       const auto slash = value->find('/');
-      if (slash == std::string::npos) {
-        std::cerr << "--shard expects I/K\n";
+      std::size_t index = 0;
+      std::size_t count = 0;
+      if (slash == std::string::npos || !parse_u64(value->substr(0, slash)) ||
+          !parse_u64(value->substr(slash + 1))) {
+        std::cerr << "invalid value '" << *value << "' for --shard (expects I/K)\n";
         return std::nullopt;
       }
-      options.shard = {{std::stoull(value->substr(0, slash)),
-                        std::stoull(value->substr(slash + 1))}};
+      index = static_cast<std::size_t>(*parse_u64(value->substr(0, slash)));
+      count = static_cast<std::size_t>(*parse_u64(value->substr(slash + 1)));
+      options.shard = {{index, count}};
     } else if (!drive && arg == "--out" && (value = next())) {
       options.out_path = *value;
     } else if (drive && arg == "--shards" && (value = next())) {
-      options.shards = std::stoull(*value);
+      if (!size_flag(*value, "--shards", options.shards)) return std::nullopt;
     } else if (drive && arg == "--jobs" && (value = next())) {
-      options.jobs = std::stoull(*value);
+      if (!size_flag(*value, "--jobs", options.jobs)) return std::nullopt;
     } else if (drive && arg == "--retries" && (value = next())) {
-      options.retries = std::stoull(*value);
+      if (!size_flag(*value, "--retries", options.retries)) return std::nullopt;
     } else if (drive && arg == "--workdir" && (value = next())) {
       options.workdir = *value;
     } else if (drive && arg == "--keep-artefacts") {
@@ -466,6 +505,31 @@ int run_sweep_command_impl(int argc, char** argv) {
                 << " non-empty shards in this plan\n";
       return 2;
     }
+    // Test-only failure injection for the drive retry path (exercised by
+    // tests/test_cli_process.cpp and harmless otherwise): with
+    // AVGLOCAL_TEST_FAIL_MARKER set, the first run of each shard drops a
+    // marker file and fails - by nonzero exit, or by SIGKILL with
+    // AVGLOCAL_TEST_FAIL_MODE=kill; retries find the marker and proceed
+    // normally. MODE=always fails every attempt (exhausts the retry
+    // budget).
+    if (const char* marker = std::getenv("AVGLOCAL_TEST_FAIL_MARKER")) {
+      const std::string marker_path = std::string(marker) + ".shard" + std::to_string(index);
+      const char* mode_env = std::getenv("AVGLOCAL_TEST_FAIL_MODE");
+      const std::string mode = mode_env ? mode_env : "";
+      bool fail = mode == "always";
+      if (!fail) {
+        struct stat info;
+        if (::stat(marker_path.c_str(), &info) != 0) {
+          std::ofstream(marker_path).put('x');
+          fail = true;
+        }
+      }
+      if (fail) {
+        if (mode == "kill") ::kill(::getpid(), SIGKILL);
+        std::cerr << "injected failure for shard " << index << "\n";
+        return 33;
+      }
+    }
     core::ShardDocument doc;
     doc.meta = core::SweepPlanMeta::from_options(resolved.spec.ns, sweep);
     doc.meta.algorithm = resolved.spec.algorithm;
@@ -486,7 +550,7 @@ int run_sweep_command_impl(int argc, char** argv) {
   const core::ScenarioResult result = core::run_scenario(resolved.spec, execution);
   print_points(result.points, result.spec.schedule.adaptive());
   if (!options.json_path.empty()) {
-    if (!write_text_file(options.json_path, sweep_report_json(result.spec, result.points))) {
+    if (!write_text_file(options.json_path, core::sweep_report_json(result.spec, result.points))) {
       return 1;
     }
     std::cout << "sweep report written to " << options.json_path << "\n";
@@ -575,7 +639,7 @@ int run_merge_command_impl(int argc, char** argv) {
             << meta.graph << ", seed " << meta.seed << ", " << meta.trials << " trials\n";
   print_points(points, /*adaptive=*/false);
   if (!json_path.empty()) {
-    if (!write_text_file(json_path, sweep_report_json(spec, points))) return 1;
+    if (!write_text_file(json_path, core::sweep_report_json(spec, points))) return 1;
     std::cout << "merged report written to " << json_path << "\n";
   }
   return 0;
@@ -706,20 +770,62 @@ int run_drive_command_impl(int argc, char** argv) {
       ++job.attempts;
       const pid_t pid = spawn_process(exe, shard_args(job));
       if (pid < 0) {
-        std::cerr << "cannot fork shard " << index << ": " << std::strerror(errno) << "\n";
-        failed = true;
+        // A failed fork consumes an attempt exactly like a shard that
+        // died after launching: the usual cause (transient resource
+        // exhaustion) deserves the same retry budget, and exhausting it
+        // fails the drive cleanly instead of aborting on the first EAGAIN.
+        if (job.attempts <= options.retries) {
+          std::cerr << "cannot fork shard " << index << " (attempt " << job.attempts
+                    << "): " << std::strerror(errno) << "; retrying\n";
+          pending.push_back(index);
+          const timespec backoff{0, 50'000'000};  // let the pressure pass
+          ::nanosleep(&backoff, nullptr);
+        } else {
+          std::cerr << "cannot fork shard " << index << " after " << job.attempts
+                    << " attempts: " << std::strerror(errno) << "; giving up\n";
+          failed = true;
+        }
         break;
       }
       running.emplace(pid, index);
     }
-    if (failed || running.empty()) break;
+    if (failed) break;
+    if (running.empty()) {
+      if (pending.empty()) break;
+      continue;  // every fork failed this round; the backoff ran, relaunch
+    }
 
-    int status = 0;
-    const pid_t pid = ::waitpid(-1, &status, 0);
-    if (pid < 0) {
-      std::cerr << "waitpid failed: " << std::strerror(errno) << "\n";
-      failed = true;
-      break;
+    // Reap exactly one of OUR shards. waitpid(-1) would also collect
+    // children the caller of this code happens to own (and, embedded in a
+    // larger process, steal their exit statuses), so poll the tracked
+    // pids with WNOHANG instead, napping between rounds. EINTR is a
+    // retry, never a failure.
+    pid_t pid = -1;
+    int status = -1;
+    while (pid < 0) {
+      for (const auto& [candidate, candidate_index] : running) {
+        int candidate_status = 0;
+        const pid_t got = ::waitpid(candidate, &candidate_status, WNOHANG);
+        if (got == candidate) {
+          pid = candidate;
+          status = candidate_status;
+          break;
+        }
+        if (got < 0 && errno != EINTR) {
+          // ECHILD (or anything unexpected) for a pid we believe we own:
+          // someone else reaped it, so its artefact status is unknown -
+          // feed it to the retry path as a failure (status stays -1,
+          // which WIFEXITED rejects).
+          std::cerr << "waitpid(" << candidate << ") failed: " << std::strerror(errno) << "\n";
+          pid = candidate;
+          break;
+        }
+        // got == 0: still running; got < 0 && EINTR: re-poll next round.
+      }
+      if (pid < 0) {
+        const timespec nap{0, 20'000'000};  // 20ms between polling rounds
+        ::nanosleep(&nap, nullptr);
+      }
     }
     const auto it = running.find(pid);
     if (it == running.end()) continue;
@@ -743,10 +849,11 @@ int run_drive_command_impl(int argc, char** argv) {
     }
   }
   // Drain any children still running after a failure so nothing is left
-  // writing into the work directory.
+  // writing into the work directory. Still pid-targeted, still EINTR-safe.
   for (const auto& [pid, index] : running) {
     int status = 0;
-    ::waitpid(pid, &status, 0);
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
   }
   if (failed) {
     // Keep whatever the shards produced for post-mortem, but say where -
@@ -769,7 +876,7 @@ int run_drive_command_impl(int argc, char** argv) {
 
   int exit_code = 0;
   if (!options.json_path.empty()) {
-    if (!write_text_file(options.json_path, sweep_report_json(resolved.spec, points))) {
+    if (!write_text_file(options.json_path, core::sweep_report_json(resolved.spec, points))) {
       exit_code = 1;
     } else {
       std::cout << "sweep report written to " << options.json_path << "\n";
@@ -782,6 +889,193 @@ int run_drive_command_impl(int argc, char** argv) {
     std::cout << "shard artefacts kept in " << workdir << "\n";
   }
   return exit_code;
+}
+
+// ------------------------------------------------------- serve / request ----
+
+void serve_usage() {
+  std::cout
+      << "usage: avglocal_cli serve --socket PATH [--threads W] [--batch B]\n"
+         "                          [--max-clients C]\n"
+         "       avglocal_cli request --socket PATH [--op sweep|ping|stats|shutdown]\n"
+         "                            ...sweep flags... [--json FILE]\n"
+         "  serve keeps sweep engines resident behind a Unix-domain socket with a\n"
+         "  content-addressed result cache: a repeated request is served from cache\n"
+         "  with zero recomputation, a request for more trials of a cached workload\n"
+         "  computes only the missing trial range, and every report is byte-identical\n"
+         "  to a one-shot `sweep --json` run. Fixed trial schedules only (--target-hw\n"
+         "  requests are rejected). SIGTERM/SIGINT shut the daemon down cleanly.\n"
+         "  request sends one op and prints the response; for sweeps, --json FILE\n"
+         "  saves the returned report (cmp-identical to the monolithic file).\n";
+}
+
+/// The daemon under the signal handler's hand. request_stop() is the only
+/// call the handler makes - an atomic store plus shutdown(2), both
+/// async-signal-safe.
+core::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int run_serve_command_impl(int argc, char** argv) {
+  core::ServeOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    std::optional<std::string> value;
+    if (arg == "--help" || arg == "-h") {
+      serve_usage();
+      return 2;
+    }
+    if (arg == "--socket" && (value = next())) {
+      options.socket_path = *value;
+    } else if (arg == "--threads" && (value = next())) {
+      if (!size_flag(*value, "--threads", options.threads)) return 2;
+    } else if (arg == "--batch" && (value = next())) {
+      if (!size_flag(*value, "--batch", options.batch_size)) return 2;
+    } else if (arg == "--max-clients" && (value = next())) {
+      if (!size_flag(*value, "--max-clients", options.max_clients)) return 2;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      serve_usage();
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "serve needs --socket PATH\n";
+    serve_usage();
+    return 2;
+  }
+  if (options.max_clients < 1) {
+    std::cerr << "--max-clients must be at least 1\n";
+    return 2;
+  }
+
+  core::Server server(options);
+  server.start();
+  g_server = &server;
+  // No SA_RESTART: the blocked accept() must return (EINTR) so the loop
+  // observes the stop flag the handler just set.
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::cout << "serving on " << options.socket_path << "\n" << std::flush;
+  server.run();
+  g_server = nullptr;
+  const core::ResultCacheStats stats = server.cache().stats();
+  std::cout << "server stopped: " << stats.requests << " request(s), " << stats.full_hits
+            << " full hit(s), " << stats.extensions << " extension(s), "
+            << stats.trials_computed << " trial(s) computed\n";
+  return 0;
+}
+
+int run_request_command_impl(int argc, char** argv) {
+  std::string socket_path;
+  std::string op = "sweep";
+  std::string json_path;
+  core::ScenarioSpec spec;
+  spec.schedule.max_trials = 100;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    std::optional<std::string> value;
+    if (arg == "--help" || arg == "-h") {
+      serve_usage();
+      return 2;
+    }
+    if (arg == "--socket" && (value = next())) {
+      socket_path = *value;
+    } else if (arg == "--op" && (value = next())) {
+      op = *value;
+    } else if (arg == "--json" && (value = next())) {
+      json_path = *value;
+    } else if (arg == "--algo" && (value = next())) {
+      spec.algorithm = *value;
+    } else if (arg == "--graph" && (value = next())) {
+      spec.family = graph::parse_family_spec(*value);
+    } else if (arg == "--ns" && (value = next())) {
+      const auto sizes = parse_size_list(*value);
+      if (!sizes) {
+        flag_error(*value, "--ns");
+        return 2;
+      }
+      spec.ns = *sizes;
+    } else if (arg == "--trials" && (value = next())) {
+      if (!size_flag(*value, "--trials", spec.schedule.max_trials)) return 2;
+    } else if (arg == "--seed" && (value = next())) {
+      if (!u64_flag(*value, "--seed", spec.seed)) return 2;
+    } else if (arg == "--semantics" && (value = next())) {
+      spec.semantics = parse_semantics(*value);
+    } else if (arg == "--node-profile") {
+      spec.node_profile = true;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      serve_usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "request needs --socket PATH\n";
+    serve_usage();
+    return 2;
+  }
+  if (op != "sweep" && op != "ping" && op != "stats" && op != "shutdown") {
+    std::cerr << "unknown op '" << op << "' (sweep|ping|stats|shutdown)\n";
+    return 2;
+  }
+
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("op").value(op);
+  if (op == "sweep") {
+    json.key("scenario");
+    core::write_scenario_json(json, spec);
+  }
+  json.end_object();
+
+  support::UnixStream stream = support::UnixStream::connect(socket_path);
+  if (!stream.write_line(json.str())) {
+    std::cerr << "cannot send request to " << socket_path << "\n";
+    return 1;
+  }
+  std::string line;
+  if (!stream.read_line(line)) {
+    std::cerr << "daemon closed the connection without a response\n";
+    return 1;
+  }
+  const support::JsonValue response = support::parse_json(line);
+  if (!response.at("ok").as_bool()) {
+    std::cerr << "error: " << response.at("error").as_string() << "\n";
+    return 1;
+  }
+  if (op != "sweep") {
+    std::cout << line << "\n";
+    return 0;
+  }
+  const std::string& report = response.at("report").as_string();
+  std::cout << "key " << response.at("key").as_string() << " "
+            << (response.at("warm").as_bool() ? "warm (served from cache)" : "computed") << ", "
+            << response.at("trials_computed").as_u64() << " trial(s) computed\n";
+  if (!json_path.empty()) {
+    // write_text_file appends the same trailing newline the sweep path
+    // does, so the saved file is cmp-identical to `sweep --json`'s.
+    if (!write_text_file(json_path, report)) return 1;
+    std::cout << "sweep report written to " << json_path << "\n";
+  } else {
+    std::cout << report << "\n";
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------- main ----
@@ -824,6 +1118,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "drive") == 0) {
     return run_guarded(run_drive_command_impl, argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return run_guarded(run_serve_command_impl, argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "request") == 0) {
+    return run_guarded(run_request_command_impl, argc, argv);
   }
   return run_single_guarded(argc, argv);
 }

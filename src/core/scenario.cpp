@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
@@ -151,13 +152,15 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
   return resolved;
 }
 
-std::string scenario_to_json(const ScenarioSpec& spec) {
-  support::JsonWriter json;
-  write_scenario_json(json, spec);
-  return json.str();
-}
+namespace {
 
-void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec) {
+/// One body behind the canonical scenario block and the workload-identity
+/// block: same keys, same order, the identity variant simply omits the
+/// `schedule` object. The canonical block's byte stream is pinned by the
+/// golden-artefact corpus, so the refactor must not move a single byte of
+/// the with-schedule output.
+void write_scenario_block(support::JsonWriter& json, const ScenarioSpec& spec,
+                          bool with_schedule) {
   json.begin_object();
   json.key("family").value(spec.family.family);
   json.key("family_params").begin_object();
@@ -170,18 +173,103 @@ void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec) {
   json.end_array();
   json.key("semantics").value(local::to_string(spec.semantics));
   json.key("seed").value(spec.seed);
-  json.key("schedule").begin_object();
-  json.key("max_trials").value(static_cast<std::uint64_t>(spec.schedule.max_trials));
-  json.key("min_trials").value(static_cast<std::uint64_t>(spec.schedule.min_trials));
-  json.key("batch").value(static_cast<std::uint64_t>(spec.schedule.batch));
-  json.key("target_half_width").value(spec.schedule.target_half_width);
-  json.key("z").value(spec.schedule.z);
-  json.end_object();
+  if (with_schedule) {
+    json.key("schedule").begin_object();
+    json.key("max_trials").value(static_cast<std::uint64_t>(spec.schedule.max_trials));
+    json.key("min_trials").value(static_cast<std::uint64_t>(spec.schedule.min_trials));
+    json.key("batch").value(static_cast<std::uint64_t>(spec.schedule.batch));
+    json.key("target_half_width").value(spec.schedule.target_half_width);
+    json.key("z").value(spec.schedule.z);
+    json.end_object();
+  }
   json.key("quantile_probs").begin_array();
   for (const double q : spec.quantile_probs) json.value(q);
   json.end_array();
   json.key("node_profile").value(spec.node_profile);
   json.end_object();
+}
+
+}  // namespace
+
+std::string scenario_to_json(const ScenarioSpec& spec) {
+  support::JsonWriter json;
+  write_scenario_json(json, spec);
+  return json.str();
+}
+
+void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec) {
+  write_scenario_block(json, spec, /*with_schedule=*/true);
+}
+
+std::string scenario_identity_json(const ScenarioSpec& spec) {
+  support::JsonWriter json;
+  write_scenario_block(json, spec, /*with_schedule=*/false);
+  return json.str();
+}
+
+std::string scenario_cache_key(const ScenarioSpec& spec) {
+  const std::string identity = scenario_identity_json(spec);
+  // FNV-1a, 64-bit: tiny, dependency-free and stable across platforms -
+  // the key is a cache address, not a cryptographic commitment (entries
+  // verify nothing against it; the identity JSON is what is compared).
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : identity) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(hash));
+  return std::string(hex, 16);
+}
+
+std::string sweep_report_json(const ScenarioSpec& spec,
+                              const std::vector<ScenarioPoint>& points) {
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("avglocal_sweep").value(std::uint64_t{3});
+  json.key("scenario");
+  write_scenario_json(json, spec);
+  json.key("points").begin_array();
+  for (const auto& sp : points) {
+    const auto& p = sp.point;
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(p.n));
+    json.key("trials").value(static_cast<std::uint64_t>(p.trials));
+    json.key("converged").value(sp.converged);
+    json.key("half_width").value(sp.half_width);
+    json.key("avg_mean").value(p.avg_mean);
+    json.key("avg_sd").value(p.avg_sd);
+    json.key("avg_worst").value(p.avg_worst);
+    json.key("max_mean").value(p.max_mean);
+    json.key("max_worst").value(static_cast<std::uint64_t>(p.max_worst));
+    json.key("radius_mean").value(p.radius.mean);
+    json.key("radius_max").value(static_cast<std::uint64_t>(p.radius.max));
+    json.key("quantile_probs").begin_array();
+    for (double q : p.radius.probs) json.value(q);
+    json.end_array();
+    json.key("quantiles").begin_array();
+    for (std::size_t r : p.radius.quantiles) json.value(static_cast<std::uint64_t>(r));
+    json.end_array();
+    json.key("node_mean_min").value(p.node_mean_min);
+    json.key("node_mean_max").value(p.node_mean_max);
+    if (!p.node_mean.empty()) {
+      json.key("node_mean").begin_array();
+      for (double m : p.node_mean) json.value(m);
+      json.end_array();
+    }
+    json.key("edges").value(static_cast<std::uint64_t>(p.edges));
+    json.key("edge_avg_mean").value(p.edge_avg_mean);
+    json.key("edge_avg_sd").value(p.edge_avg_sd);
+    json.key("edge_time_mean").value(p.edge_time.mean);
+    json.key("edge_time_max").value(static_cast<std::uint64_t>(p.edge_time.max));
+    json.key("edge_quantiles").begin_array();
+    for (std::size_t r : p.edge_time.quantiles) json.value(static_cast<std::uint64_t>(r));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
 }
 
 ScenarioSpec scenario_from_json(const support::JsonValue& value) {

@@ -133,6 +133,21 @@ void write_scenario_json(support::JsonWriter& json, const ScenarioSpec& spec);
 ScenarioSpec scenario_from_json(const support::JsonValue& value);
 ScenarioSpec scenario_from_json(std::string_view text);
 
+/// The workload-identity block: the canonical scenario block minus the
+/// trial schedule (same keys, same order, `schedule` omitted). Everything
+/// in it changes what any trial computes; nothing in it changes with how
+/// many trials are requested. Two requests that differ only in their
+/// schedule therefore share an identity - which is exactly what lets the
+/// result cache (core/result_cache.hpp) extend a cached exact-integer
+/// partial with fresh trials instead of recomputing. Resolve first:
+/// identity is only canonical on resolved specs.
+std::string scenario_identity_json(const ScenarioSpec& spec);
+
+/// Content-addressable cache key of a scenario: the FNV-1a 64-bit digest
+/// of scenario_identity_json in fixed-width lowercase hex. The daemon, the
+/// result cache and clients all name cached workloads by this key.
+std::string scenario_cache_key(const ScenarioSpec& spec);
+
 /// One sweep point of a scenario run, plus how the schedule ended there.
 struct ScenarioPoint {
   BatchedSweepPoint point;
@@ -146,6 +161,13 @@ struct ScenarioResult {
   ScenarioSpec spec;  ///< canonical spec the run used
   std::vector<ScenarioPoint> points;
 };
+
+/// The sweep report document (format v3). Produced identically by the
+/// monolithic `sweep`, by `merge`, by `drive` and by the daemon's cache
+/// hits, so any two paths that ran the same workload can be compared byte
+/// for byte (CI does, with cmp).
+std::string sweep_report_json(const ScenarioSpec& spec,
+                              const std::vector<ScenarioPoint>& points);
 
 /// Execution knobs that never change results (pinned by the batched-sweep
 /// tests): worker pool sizing and engine batch width. Deliberately outside

@@ -1,0 +1,113 @@
+// Sweep-as-a-service: a resident daemon over core::ResultCache.
+//
+// The server listens on a Unix-domain stream socket and speaks
+// newline-delimited JSON - one request object per line, one response
+// object per line, in order, per connection. Ops:
+//
+//   {"op":"ping"}                     -> {"ok":true,"op":"ping"}
+//   {"op":"stats"}                    -> {"ok":true,"op":"stats", ...counters}
+//   {"op":"shutdown"}                 -> {"ok":true,"op":"shutdown"}, then stop
+//   {"op":"sweep","scenario":{...}}   -> {"ok":true,"op":"sweep",
+//                                         "key":"<cache key>","warm":bool,
+//                                         "trials_computed":N,
+//                                         "report":"<full report document>"}
+//
+// The scenario block is exactly the canonical block sweep reports embed
+// (core/scenario.hpp), and the returned report string is byte-identical to
+// what `avglocal_cli sweep --json` writes for the same spec - CI compares
+// them with cmp. Any malformed line or failed request yields
+// {"ok":false,"error":"..."} and the connection stays open.
+//
+// Concurrency: one handler thread per connection (at most
+// ServeOptions::max_clients at once; further accepts wait for a free
+// slot), all funnelling into the shared ResultCache, which serialises
+// sweeps internally. Shutdown - via the shutdown op or request_stop(),
+// which is async-signal-safe for SIGTERM handlers - interrupts the accept
+// loop, half-closes idle connections (in-flight responses still flush)
+// and joins every handler before run() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/result_cache.hpp"
+#include "support/socket.hpp"
+
+namespace avglocal::core {
+
+struct ServeOptions {
+  std::string socket_path;
+  /// ResultCacheOptions::threads for the shared sweep pool.
+  std::size_t threads = 0;
+  /// ResultCacheOptions::batch_size for cache-run sweeps.
+  std::size_t batch_size = 0;
+  /// Concurrent connections served at once; later accepts queue.
+  std::size_t max_clients = 16;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Binds and listens on options.socket_path. Throws std::runtime_error
+  /// when the path is unusable or already served. Separate from run() so
+  /// callers can install signal handlers between "the socket exists" and
+  /// "requests are being accepted".
+  void start();
+
+  /// Accept loop; returns only after a stop request, with every handler
+  /// joined and the socket file unlinked.
+  void run();
+
+  /// Requests shutdown. Async-signal-safe (an atomic store plus a socket
+  /// shutdown()) - this is the SIGTERM handler's one call.
+  void request_stop() noexcept;
+
+  bool stopping() const noexcept { return stop_.load(std::memory_order_relaxed); }
+
+  ResultCache& cache() noexcept { return cache_; }
+
+  /// One handled request line. `shutdown` marks the response to a shutdown
+  /// op: the handler sends the line, then stops the server.
+  struct Reply {
+    std::string line;
+    bool shutdown = false;
+  };
+
+  /// Parses and executes one request line and builds the response line.
+  /// Never throws: malformed input becomes an {"ok":false,...} reply.
+  /// Public so protocol tests can drive it without a socket.
+  Reply handle_request(const std::string& line);
+
+ private:
+  /// One connection's lifetime. `fd` mirrors the handler's stream fd while
+  /// live so shutdown can half-close blocked readers; `done` flags the
+  /// slot for reaping by the accept loop.
+  struct ClientSlot {
+    std::thread thread;
+    std::atomic<int> fd{-1};
+    std::atomic<bool> done{false};
+  };
+
+  void serve_connection(support::UnixStream stream, ClientSlot* slot);
+  void reap_finished_slots_locked();
+
+  ServeOptions options_;
+  ResultCache cache_;
+  support::UnixListener listener_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex slots_mutex_;
+  std::condition_variable slot_freed_;
+  std::vector<std::unique_ptr<ClientSlot>> slots_;
+};
+
+}  // namespace avglocal::core

@@ -1,0 +1,218 @@
+#include "support/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace avglocal::support {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("socket path '" + path + "' is empty or longer than sockaddr_un");
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+int make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  return fd;
+}
+
+bool something_accepting(const std::string& path) {
+  try {
+    const UnixStream probe = UnixStream::connect(path);
+    return probe.valid();
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ UnixStream ----
+
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+UnixStream::~UnixStream() { close(); }
+
+UnixStream UnixStream::connect(const std::string& path) {
+  const sockaddr_un address = make_address(path);
+  const int fd = make_socket();
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) == 0) {
+      return UnixStream(fd);
+    }
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(" + path + ")");
+  }
+}
+
+bool UnixStream::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;  // orderly EOF (0) or a hard error
+  }
+}
+
+bool UnixStream::write_all(std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE here, not
+    // kill the whole daemon with SIGPIPE.
+    const ssize_t sent = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      data.remove_prefix(static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool UnixStream::write_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return write_all(framed);
+}
+
+void UnixStream::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void UnixStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+// ---------------------------------------------------------- UnixListener ----
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed), std::memory_order_relaxed);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+UnixListener UnixListener::bind(const std::string& path, int backlog) {
+  const sockaddr_un address = make_address(path);
+  const int fd = make_socket();
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    if (errno != EADDRINUSE) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("bind(" + path + ")");
+    }
+    ::close(fd);
+    // A socket file already exists. Probe it: a successful connect means
+    // a live daemon owns the path and we must not steal it; a refused
+    // connect means the file is a stale leftover of a crashed daemon and
+    // replacing it is the right call.
+    if (something_accepting(path)) {
+      throw std::runtime_error("socket path '" + path + "' is already being served");
+    }
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw_errno("unlink stale socket " + path);
+    }
+    const int retry = make_socket();
+    if (::bind(retry, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+      const int saved = errno;
+      ::close(retry);
+      errno = saved;
+      throw_errno("bind(" + path + ")");
+    }
+    UnixListener listener;
+    listener.fd_ = retry;
+    listener.path_ = path;
+    if (::listen(retry, backlog) != 0) throw_errno("listen(" + path + ")");
+    return listener;
+  }
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  if (::listen(fd, backlog) != 0) throw_errno("listen(" + path + ")");
+  return listener;
+}
+
+UnixStream UnixListener::accept_client() {
+  const int client = ::accept(fd_.load(std::memory_order_relaxed), nullptr, nullptr);
+  // EINTR and the post-interrupt() failure modes (EBADF/EINVAL) all mean
+  // "no connection this time"; the caller's stop flag decides what next.
+  return UnixStream(client);
+}
+
+void UnixListener::interrupt() noexcept {
+  // shutdown() is async-signal-safe and makes a blocked accept() return
+  // immediately; close()/unlink() happen later on the normal path. The
+  // atomic load may race with close() claiming the descriptor - worst
+  // case shutdown() gets -1 or an already-closed fd and reports EBADF,
+  // which is harmless here.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void UnixListener::close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+}  // namespace avglocal::support

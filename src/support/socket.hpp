@@ -1,0 +1,106 @@
+// Minimal Unix-domain stream sockets with newline framing, for the
+// sweep-as-a-service daemon (core/serve.hpp) and its clients.
+//
+// Two small RAII wrappers over AF_UNIX/SOCK_STREAM: UnixListener owns the
+// bound socket file (created on listen, unlinked on destruction),
+// UnixStream owns one connected end and frames messages as single lines -
+// the daemon protocol is newline-delimited JSON, one request or response
+// per line. All blocking calls retry on EINTR; writes use MSG_NOSIGNAL so
+// a vanished peer surfaces as an error return, never as SIGPIPE. The
+// wrappers are deliberately synchronous: the daemon's concurrency comes
+// from one handler thread per connection plus the shared sweep worker
+// pool, not from non-blocking IO.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace avglocal::support {
+
+/// One connected Unix-domain stream endpoint. Movable, closes on
+/// destruction. Reads are buffered internally so pipelined lines are
+/// handed out one at a time.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(int fd) noexcept : fd_(fd) {}
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+  ~UnixStream();
+
+  /// Connects to a listening daemon. Throws std::runtime_error (with
+  /// errno text) when the path is absent or nothing is accepting.
+  static UnixStream connect(const std::string& path);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Reads one '\n'-terminated line (terminator stripped) into `line`.
+  /// Returns false on orderly EOF or a read error; retries EINTR.
+  bool read_line(std::string& line);
+
+  /// Writes all of `data`, retrying partial writes and EINTR. Returns
+  /// false when the peer is gone.
+  bool write_all(std::string_view data);
+
+  /// Frames and sends one message line (appends the '\n' terminator).
+  bool write_line(std::string_view line);
+
+  /// Half-closes the read side (releases a peer blocked in read_line)
+  /// without discarding writes still in flight.
+  void shutdown_read() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+/// A listening Unix-domain socket bound to a filesystem path. The
+/// listener owns the path: it refuses to clobber a live daemon (connect
+/// probe), silently replaces a stale socket file left by a crashed one,
+/// and unlinks the path when destroyed.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  /// Binds and listens on `path`. Throws std::runtime_error when the path
+  /// is too long for sockaddr_un, another process is accepting on it, or
+  /// any socket call fails.
+  static UnixListener bind(const std::string& path, int backlog = 16);
+
+  bool valid() const noexcept { return fd_.load(std::memory_order_relaxed) >= 0; }
+  int fd() const noexcept { return fd_.load(std::memory_order_relaxed); }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Blocks for one connection and returns its stream. Returns an invalid
+  /// stream when the wait was interrupted by a signal (EINTR - the caller
+  /// checks its stop flag and either loops or exits) or the listener was
+  /// shut down from another thread or a signal handler.
+  UnixStream accept_client();
+
+  /// Async-signal-safe wake-up: makes the blocked accept_client return an
+  /// invalid stream. Safe to call from a SIGTERM handler.
+  void interrupt() noexcept;
+
+  void close() noexcept;
+
+ private:
+  /// Atomic because interrupt() may fire from a signal handler or another
+  /// thread while the accept loop is tearing the listener down; close()
+  /// claims the descriptor with an exchange so the two never double-close
+  /// or race on the value. Moves are still single-threaded by contract.
+  std::atomic<int> fd_{-1};
+  std::string path_;
+};
+
+}  // namespace avglocal::support

@@ -1,0 +1,175 @@
+// Process-level CLI contracts, driven through the real avglocal_cli
+// binary (path injected as AVGLOCAL_CLI_BIN):
+//
+//  * malformed numeric flags exit 2 and name the offending flag - the
+//    bare-stoull era threw an uncaught exception on garbage and silently
+//    wrapped "-1" to 2^64-1;
+//  * the drive reaper survives shard failure: a shard that exits nonzero
+//    or dies by signal on its first attempt is retried, and the merged
+//    report is byte-identical to the monolithic sweep's;
+//  * exhausted retries fail the drive cleanly (exit 1, "giving up"),
+//    never a hang or an abort.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout and stderr, interleaved
+};
+
+RunResult run_command(const std::string& command) {
+  RunResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, pipe)) > 0) {
+    result.output.append(chunk, got);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string cli() { return AVGLOCAL_CLI_BIN; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// A scratch directory per test; paths stay under /tmp and are removed
+/// best-effort (content first, via the shell, then the directory).
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char dir_template[] = "/tmp/avglocal-cli-test-XXXXXX";
+    if (::mkdtemp(dir_template) != nullptr) path_ = dir_template;
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) (void)run_command("rm -rf '" + path_ + "'");
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------- numeric flag parsing ----
+
+struct BadFlagCase {
+  const char* args;
+  const char* flag;
+  const char* value;
+};
+
+TEST(CliFlagParsing, MalformedNumericFlagsExitTwoAndNameTheFlag) {
+  const BadFlagCase cases[] = {
+      {"sweep --trials banana --ns 64", "--trials", "banana"},
+      {"sweep --seed -1 --ns 64", "--seed", "-1"},
+      {"sweep --ns 64,abc", "--ns", "64,abc"},
+      {"sweep --threads 1.5 --ns 64", "--threads", "1.5"},
+      {"sweep --batch 0x10 --ns 64", "--batch", "0x10"},
+      {"sweep --min-trials -3 --ns 64", "--min-trials", "-3"},
+      {"sweep --adaptive-batch ten --ns 64", "--adaptive-batch", "ten"},
+      {"sweep --target-hw wide --ns 64", "--target-hw", "wide"},
+      {"sweep --z z --ns 64", "--z", "z"},
+      {"sweep --shard one/2 --out /dev/null --ns 64", "--shard", "one/2"},
+      {"--n 12x", "--n", "12x"},
+      {"--seed 99999999999999999999", "--seed", "99999999999999999999"},
+      {"drive --shards -2 --ns 64", "--shards", "-2"},
+      {"drive --jobs many --ns 64", "--jobs", "many"},
+      {"drive --retries 1e3 --ns 64", "--retries", "1e3"},
+      {"serve --socket /tmp/x.sock --max-clients none", "--max-clients", "none"},
+      {"request --socket /tmp/x.sock --trials '' ", "--trials", ""},
+  };
+  for (const BadFlagCase& c : cases) {
+    const RunResult result = run_command(cli() + " " + c.args);
+    EXPECT_EQ(result.exit_code, 2) << c.args << "\n" << result.output;
+    const std::string expected =
+        "invalid value '" + std::string(c.value) + "' for " + c.flag;
+    EXPECT_NE(result.output.find(expected), std::string::npos)
+        << c.args << "\nexpected: " << expected << "\ngot:\n"
+        << result.output;
+  }
+}
+
+TEST(CliFlagParsing, WellFormedNumericFlagsStillWork) {
+  const RunResult result =
+      run_command(cli() + " sweep --algo largest-id --graph cycle --ns 64 --trials 4 --seed 1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// ------------------------------------------------------ drive retry path ----
+
+std::string drive_flags(const ScratchDir& dir, const std::string& report) {
+  return " drive --algo largest-id --graph cycle --ns 64,128 --trials 10 --seed 3"
+         " --shards 2 --jobs 2 --workdir '" +
+         dir.path() + "/work' --json '" + report + "'";
+}
+
+std::string monolithic_reference(const ScratchDir& dir) {
+  const std::string path = dir.path() + "/mono.json";
+  const RunResult result = run_command(
+      cli() + " sweep --algo largest-id --graph cycle --ns 64,128 --trials 10 --seed 3 --json '" +
+      path + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  return read_file(path);
+}
+
+TEST(CliDrive, RetriesShardThatExitsNonzeroAndMergesIdentically) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string reference = monolithic_reference(dir);
+
+  const std::string report = dir.path() + "/drive.json";
+  const RunResult result = run_command("AVGLOCAL_TEST_FAIL_MARKER='" + dir.path() + "/marker'" + " " +
+                                       cli() + drive_flags(dir, report));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("retrying"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("2 attempts"), std::string::npos) << result.output;
+  EXPECT_EQ(read_file(report), reference);
+}
+
+TEST(CliDrive, RetriesShardKilledBySignalAndMergesIdentically) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string reference = monolithic_reference(dir);
+
+  const std::string report = dir.path() + "/drive.json";
+  const RunResult result =
+      run_command("AVGLOCAL_TEST_FAIL_MARKER='" + dir.path() + "/marker'" + " " +
+                  " AVGLOCAL_TEST_FAIL_MODE=kill " + cli() + drive_flags(dir, report));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("retrying"), std::string::npos) << result.output;
+  EXPECT_EQ(read_file(report), reference);
+}
+
+TEST(CliDrive, GivesUpCleanlyWhenRetriesAreExhausted) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string report = dir.path() + "/drive.json";
+  const RunResult result =
+      run_command("AVGLOCAL_TEST_FAIL_MARKER='" + dir.path() + "/marker'" + " " +
+                  " AVGLOCAL_TEST_FAIL_MODE=always " + cli() + drive_flags(dir, report) +
+                  " --retries 1");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("giving up"), std::string::npos) << result.output;
+  // No report file: the drive failed before the merge.
+  std::ifstream missing(report);
+  EXPECT_FALSE(missing.good());
+}
+
+}  // namespace
