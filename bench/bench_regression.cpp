@@ -45,6 +45,7 @@
 #include "algo/largest_id.hpp"
 #include "core/batched_sweep.hpp"
 #include "core/message_sweep.hpp"
+#include "core/remote_backend.hpp"
 #include "core/result_cache.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep_driver.hpp"
@@ -1181,6 +1182,100 @@ ServeNumbers bench_serve(bool smoke) {
   return out;
 }
 
+// ------------------------------------------------------------------------
+// The distributed fabric block. Measured over a real loopback TCP socket
+// with in-process workers (the exact code path `fabric-worker` runs):
+//  * dispatch_overhead_pct: one single-threaded worker through the full
+//    protocol vs the serial monolithic sweep - what the hello/grant/
+//    artefact round trips cost;
+//  * units_per_sec: protocol throughput of the same one-worker run;
+//  * fabric_speedup_3w: three single-threaded workers vs the serial
+//    monolithic sweep, gated >= 1.8 in full runs on machines with at
+//    least 4 cores (coordinator handlers + 3 workers need them).
+// Byte-identity against the monolithic report is asserted on every leg,
+// smoke included.
+// ------------------------------------------------------------------------
+
+struct FabricNumbers {
+  std::size_t trials = 0;
+  std::size_t units = 0;
+  double monolithic_serial_sec = 0;
+  double one_worker_sec = 0;
+  double three_worker_sec = 0;
+  double dispatch_overhead_pct = 0;
+  double units_per_sec = 0;
+  double fabric_speedup_3w = 0;
+};
+
+/// One fabric run with `workers` in-process single-threaded workers over
+/// loopback TCP; returns wall seconds and identity-checks the report.
+double bench_fabric_run(const core::ScenarioSpec& spec, std::size_t workers,
+                        const std::string& reference, std::size_t* units_out) {
+  core::FabricOptions options;
+  options.endpoint = support::parse_endpoint("tcp:127.0.0.1:0");
+  core::RemoteBackend backend(spec, options);
+  backend.start();
+  const support::Endpoint endpoint = backend.endpoint();
+
+  const auto start = Clock::now();
+  std::vector<std::thread> crew;
+  for (std::size_t index = 0; index < workers; ++index) {
+    crew.emplace_back([endpoint, index] {
+      core::FabricWorkerOptions worker;
+      worker.endpoint = endpoint;
+      worker.name = "bench-w" + std::to_string(index);
+      worker.threads = 1;
+      core::run_fabric_worker(worker);
+    });
+  }
+  const core::RemoteSweepOutcome outcome = backend.run();
+  for (std::thread& member : crew) member.join();
+  const double elapsed = seconds_since(start);
+
+  if (!outcome.complete || outcome.report != reference) {
+    std::cerr << "bench_regression: fabric report diverged from the monolithic sweep\n";
+    std::exit(2);
+  }
+  if (units_out != nullptr) *units_out = backend.coordinator().work_units().size();
+  return elapsed;
+}
+
+FabricNumbers bench_fabric(bool smoke) {
+  FabricNumbers out;
+  out.trials = smoke ? 8 : 240;
+
+  core::ScenarioSpec spec;
+  spec.family = {"cycle", {}};
+  spec.algorithm = "largest-id";
+  spec.ns = smoke ? std::vector<std::size_t>{64, 128} : std::vector<std::size_t>{2048, 4096};
+  spec.seed = 17;
+  spec.schedule.max_trials = out.trials;
+
+  // The serial reference: one thread, the same workload, and the report
+  // bytes every fabric leg must reproduce.
+  std::string reference;
+  {
+    core::ScenarioExecution execution;
+    execution.threads = 1;
+    const auto start = Clock::now();
+    const core::ScenarioResult result = core::run_scenario(spec, execution);
+    out.monolithic_serial_sec = seconds_since(start);
+    reference = core::sweep_report_json(result.spec, result.points);
+  }
+
+  out.one_worker_sec = bench_fabric_run(spec, 1, reference, &out.units);
+  out.three_worker_sec = bench_fabric_run(spec, 3, reference, nullptr);
+
+  out.dispatch_overhead_pct = out.monolithic_serial_sec > 0
+      ? (out.one_worker_sec / out.monolithic_serial_sec - 1.0) * 100.0
+      : 0;
+  out.units_per_sec =
+      out.one_worker_sec > 0 ? static_cast<double>(out.units) / out.one_worker_sec : 0;
+  out.fabric_speedup_3w =
+      out.three_worker_sec > 0 ? out.monolithic_serial_sec / out.three_worker_sec : 0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1230,6 +1325,7 @@ int main(int argc, char** argv) {
   const local::BatchPhaseStats phases = bench_phase_breakdown(n, trials, /*seed=*/42);
   const LargeScaleNumbers large_scale = bench_large_scale(smoke);
   const ServeNumbers serve = bench_serve(smoke);
+  const FabricNumbers fabric = bench_fabric(smoke);
 
   const double serial_ratio = sweep.serial_trials_per_sec / sweep.legacy_trials_per_sec;
   const double pooled_ratio = sweep.pooled_trials_per_sec / sweep.legacy_trials_per_sec;
@@ -1337,6 +1433,18 @@ int main(int argc, char** argv) {
   json.key("concurrent_clients").value(static_cast<std::uint64_t>(serve.concurrent_clients));
   json.key("warm_requests_per_sec").value(serve.warm_requests_per_sec);
   json.end_object();
+  json.key("fabric").begin_object();
+  json.key("topology").value("cycle");
+  json.key("algorithm").value("largest-id");
+  json.key("trials").value(static_cast<std::uint64_t>(fabric.trials));
+  json.key("units").value(static_cast<std::uint64_t>(fabric.units));
+  json.key("monolithic_serial_sec").value(fabric.monolithic_serial_sec);
+  json.key("one_worker_sec").value(fabric.one_worker_sec);
+  json.key("three_worker_sec").value(fabric.three_worker_sec);
+  json.key("dispatch_overhead_pct").value(fabric.dispatch_overhead_pct);
+  json.key("units_per_sec").value(fabric.units_per_sec);
+  json.key("fabric_speedup_3w").value(fabric.fabric_speedup_3w);
+  json.end_object();
   json.end_object();
 
   std::ofstream file(out_path);
@@ -1428,6 +1536,16 @@ int main(int argc, char** argv) {
     std::cerr << "bench_regression: warm-over-cold serve speedup " << serve.warm_over_cold_speedup
               << " < 5\n";
     return 13;
+  }
+  // The fabric's reason to exist: three workers pulling units over a real
+  // socket must beat the serial monolithic sweep despite the protocol
+  // round trips. Needs >= 4 cores (3 workers + coordinator handlers); the
+  // byte-identity checks inside bench_fabric ran on every leg regardless
+  // (smoke included).
+  if (!smoke && std::thread::hardware_concurrency() >= 4 && fabric.fabric_speedup_3w < 1.8) {
+    std::cerr << "bench_regression: three-worker fabric speedup " << fabric.fabric_speedup_3w
+              << " < 1.8\n";
+    return 14;
   }
   return 0;
 }

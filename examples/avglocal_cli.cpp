@@ -40,6 +40,15 @@
 //   avglocal_cli request --socket /tmp/avglocal.sock --algo largest-id
 //                        --graph cycle --ns 1024 --trials 500 --json sweep.json
 //   avglocal_cli request --socket /tmp/avglocal.sock --op shutdown
+//
+// Or stream the sweep across machines: `fabric-serve` is a coordinator
+// that decomposes the sweep into (point, trial-range) work units pulled
+// by `fabric-worker` processes over Unix-domain or TCP sockets, with
+// work stealing and straggler re-dispatch - the merged report is
+// byte-identical to the monolithic sweep's for any worker count:
+//   avglocal_cli fabric-serve --listen tcp:0.0.0.0:7440 --algo largest-id
+//                             --graph cycle --ns 1024 --trials 1000 --json sweep.json &
+//   avglocal_cli fabric-worker --connect tcp:host:7440 --threads 4   (xN, any hosts)
 #include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
@@ -61,7 +70,9 @@
 #include <vector>
 
 #include "algo/registry.hpp"
+#include "core/fabric.hpp"
 #include "core/measure.hpp"
+#include "core/remote_backend.hpp"
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
 #include "core/serve.hpp"
@@ -263,6 +274,8 @@ void usage() {
                "       avglocal_cli drive ...     (multi-process sharded sweep; --help)\n"
                "       avglocal_cli serve ...     (resident sweep daemon + result cache; --help)\n"
                "       avglocal_cli request ...   (client for a running daemon; --help)\n"
+               "       avglocal_cli fabric-serve ...  (distributed sweep coordinator; --help)\n"
+               "       avglocal_cli fabric-worker ... (worker for a coordinator; --help)\n"
                "  names resolve through the scenario registries; `list` prints them.\n";
 }
 
@@ -531,11 +544,7 @@ int run_sweep_command_impl(int argc, char** argv) {
       }
     }
     core::ShardDocument doc;
-    doc.meta = core::SweepPlanMeta::from_options(resolved.spec.ns, sweep);
-    doc.meta.algorithm = resolved.spec.algorithm;
-    doc.meta.graph = graph::family_spec_to_string(resolved.spec.family);
-    doc.meta.scenario = core::scenario_to_json(resolved.spec);
-    doc.meta.engine = resolved.spec.engine;
+    doc.meta = core::scenario_plan_meta(resolved);
     doc.shard = plan[index];
     doc.points = core::run_scenario_shard(resolved, sweep, doc.shard);
     if (!write_text_file(options.out_path, core::shard_to_json(doc))) return 1;
@@ -898,7 +907,7 @@ void serve_usage() {
       << "usage: avglocal_cli serve --socket PATH [--threads W] [--batch B]\n"
          "                          [--max-clients C]\n"
          "       avglocal_cli request --socket PATH [--op sweep|ping|stats|shutdown]\n"
-         "                            ...sweep flags... [--json FILE]\n"
+         "                            [--connect-timeout-ms MS] ...sweep flags... [--json FILE]\n"
          "  serve keeps sweep engines resident behind a Unix-domain socket with a\n"
          "  content-addressed result cache: a repeated request is served from cache\n"
          "  with zero recomputation, a request for more trials of a cached workload\n"
@@ -911,11 +920,25 @@ void serve_usage() {
 
 /// The daemon under the signal handler's hand. request_stop() is the only
 /// call the handler makes - an atomic store plus shutdown(2), both
-/// async-signal-safe.
+/// async-signal-safe. g_fabric is the fabric-serve coordinator's same
+/// seam; at most one of the two is non-null in any given process.
 core::Server* g_server = nullptr;
+core::RemoteBackend* g_fabric = nullptr;
 
 extern "C" void handle_stop_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
+  if (g_fabric != nullptr) g_fabric->request_stop();
+}
+
+/// No SA_RESTART: the blocked accept() must return (EINTR) so the accept
+/// loop observes the stop flag the handler just set.
+void install_stop_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
 }
 
 int run_serve_command_impl(int argc, char** argv) {
@@ -958,14 +981,7 @@ int run_serve_command_impl(int argc, char** argv) {
   core::Server server(options);
   server.start();
   g_server = &server;
-  // No SA_RESTART: the blocked accept() must return (EINTR) so the loop
-  // observes the stop flag the handler just set.
-  struct sigaction action{};
-  action.sa_handler = handle_stop_signal;
-  sigemptyset(&action.sa_mask);
-  action.sa_flags = 0;
-  ::sigaction(SIGTERM, &action, nullptr);
-  ::sigaction(SIGINT, &action, nullptr);
+  install_stop_handlers();
 
   std::cout << "serving on " << options.socket_path << "\n" << std::flush;
   server.run();
@@ -977,10 +993,203 @@ int run_serve_command_impl(int argc, char** argv) {
   return 0;
 }
 
+// -------------------------------------------------------------- fabric ----
+
+void fabric_usage() {
+  std::cout
+      << "usage: avglocal_cli fabric-serve --listen ENDPOINT ...sweep flags...\n"
+         "                                 [--unit-trials U] [--straggler-ms MS]\n"
+         "                                 [--max-workers W] [--json FILE]\n"
+         "                                 [--endpoint-file FILE]\n"
+         "       avglocal_cli fabric-worker --connect ENDPOINT [--threads W] [--batch B]\n"
+         "                                  [--name NAME] [--connect-timeout-ms MS]\n"
+         "  ENDPOINT is unix:PATH (or a bare path) or tcp:HOST:PORT (or HOST:PORT);\n"
+         "  tcp port 0 binds an ephemeral port, reported on stdout and via\n"
+         "  --endpoint-file. The coordinator decomposes the sweep into (point,\n"
+         "  trial-range) units of --unit-trials trials (0 = trials/8) that idle\n"
+         "  workers pull; a unit unfinished --straggler-ms after its grant is\n"
+         "  re-dispatched, first result per unit wins, duplicates are discarded.\n"
+         "  The merged report is byte-identical to `sweep --json` for any worker\n"
+         "  count, steal order or mid-run worker death. Fixed schedules only.\n"
+         "  SIGTERM/SIGINT drain the fabric: workers exit cleanly, the\n"
+         "  coordinator reports `stopped before completion` and exits 1.\n";
+}
+
+int run_fabric_serve_command_impl(int argc, char** argv) {
+  core::ScenarioSpec spec;
+  spec.schedule.max_trials = 100;
+  core::FabricOptions fabric;
+  std::string listen;
+  std::string json_path;
+  std::string endpoint_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    std::optional<std::string> value;
+    if (arg == "--help" || arg == "-h") {
+      fabric_usage();
+      return 2;
+    }
+    if (arg == "--listen" && (value = next())) {
+      listen = *value;
+    } else if (arg == "--unit-trials" && (value = next())) {
+      if (!size_flag(*value, "--unit-trials", fabric.unit_trials)) return 2;
+    } else if (arg == "--straggler-ms" && (value = next())) {
+      if (!u64_flag(*value, "--straggler-ms", fabric.straggler_ms)) return 2;
+    } else if (arg == "--max-workers" && (value = next())) {
+      if (!size_flag(*value, "--max-workers", fabric.max_workers)) return 2;
+    } else if (arg == "--json" && (value = next())) {
+      json_path = *value;
+    } else if (arg == "--endpoint-file" && (value = next())) {
+      endpoint_file = *value;
+    } else if (arg == "--algo" && (value = next())) {
+      spec.algorithm = *value;
+    } else if (arg == "--graph" && (value = next())) {
+      spec.family = graph::parse_family_spec(*value);
+    } else if (arg == "--ns" && (value = next())) {
+      const auto sizes = parse_size_list(*value);
+      if (!sizes) {
+        flag_error(*value, "--ns");
+        return 2;
+      }
+      spec.ns = *sizes;
+    } else if (arg == "--trials" && (value = next())) {
+      if (!size_flag(*value, "--trials", spec.schedule.max_trials)) return 2;
+    } else if (arg == "--seed" && (value = next())) {
+      if (!u64_flag(*value, "--seed", spec.seed)) return 2;
+    } else if (arg == "--semantics" && (value = next())) {
+      spec.semantics = parse_semantics(*value);
+    } else if (arg == "--node-profile") {
+      spec.node_profile = true;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      fabric_usage();
+      return 2;
+    }
+  }
+  if (listen.empty()) {
+    std::cerr << "fabric-serve needs --listen ENDPOINT\n";
+    fabric_usage();
+    return 2;
+  }
+  if (fabric.max_workers < 1) {
+    std::cerr << "--max-workers must be at least 1\n";
+    return 2;
+  }
+  fabric.endpoint = support::parse_endpoint(listen);
+
+  core::RemoteBackend backend(spec, fabric);
+  backend.start();
+  g_fabric = &backend;
+  install_stop_handlers();
+
+  // The resolved endpoint (TCP port 0 becomes the real port) goes to
+  // stdout and, for launcher scripts, to --endpoint-file.
+  const std::string endpoint = backend.endpoint().to_string();
+  if (!endpoint_file.empty() && !write_text_file(endpoint_file, endpoint)) return 1;
+  std::cout << "fabric serving on " << endpoint << "\n" << std::flush;
+
+  const core::RemoteSweepOutcome outcome = backend.run();
+  g_fabric = nullptr;
+  std::cout << "fabric: " << outcome.stats.workers_seen << " worker(s), "
+            << outcome.stats.units_granted << " grant(s), " << outcome.stats.redispatches
+            << " re-dispatch(es), " << outcome.stats.duplicates_discarded
+            << " duplicate(s) discarded\n";
+  if (!outcome.complete) {
+    std::cerr << "fabric stopped before completion\n";
+    return 1;
+  }
+  print_points(outcome.result.points, /*adaptive=*/false);
+  if (!json_path.empty()) {
+    // write_text_file appends the same trailing newline the sweep path
+    // does, so the saved file is cmp-identical to `sweep --json`'s.
+    if (!write_text_file(json_path, outcome.report)) return 1;
+    std::cout << "sweep report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+int run_fabric_worker_command_impl(int argc, char** argv) {
+  core::FabricWorkerOptions options;
+  std::string connect;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    std::optional<std::string> value;
+    if (arg == "--help" || arg == "-h") {
+      fabric_usage();
+      return 2;
+    }
+    if (arg == "--connect" && (value = next())) {
+      connect = *value;
+    } else if (arg == "--threads" && (value = next())) {
+      if (!size_flag(*value, "--threads", options.threads)) return 2;
+    } else if (arg == "--batch" && (value = next())) {
+      if (!size_flag(*value, "--batch", options.batch)) return 2;
+    } else if (arg == "--name" && (value = next())) {
+      options.name = *value;
+    } else if (arg == "--connect-timeout-ms" && (value = next())) {
+      std::uint64_t ms = 0;
+      if (!u64_flag(*value, "--connect-timeout-ms", ms)) return 2;
+      options.connect_timeout_ms = static_cast<long>(ms);
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      fabric_usage();
+      return 2;
+    }
+  }
+  if (connect.empty()) {
+    std::cerr << "fabric-worker needs --connect ENDPOINT\n";
+    fabric_usage();
+    return 2;
+  }
+  options.endpoint = support::parse_endpoint(connect);
+
+  // Test-only failure injection for the straggler re-dispatch path (the
+  // fabric twin of the sweep --shard hooks, exercised by
+  // tests/test_cli_process.cpp): with AVGLOCAL_TEST_FAIL_MARKER set, this
+  // worker's first granted unit drops a marker file and dies mid-unit -
+  // after the grant, before any artefact - which is exactly the straggler
+  // the coordinator must re-dispatch. MODE=kill dies by SIGKILL, anything
+  // else by exit 33; MODE=always dies on every grant (the worker is then
+  // useless and the others must carry the sweep).
+  if (const char* marker = std::getenv("AVGLOCAL_TEST_FAIL_MARKER")) {
+    const std::string marker_path = std::string(marker) + ".worker-" + options.name;
+    const char* mode_env = std::getenv("AVGLOCAL_TEST_FAIL_MODE");
+    const std::string mode = mode_env ? mode_env : "";
+    options.on_grant = [marker_path, mode](const core::WorkUnit&) {
+      bool fail = mode == "always";
+      if (!fail) {
+        struct stat info;
+        if (::stat(marker_path.c_str(), &info) != 0) {
+          std::ofstream(marker_path).put('x');
+          fail = true;
+        }
+      }
+      if (!fail) return;
+      if (mode == "kill") ::kill(::getpid(), SIGKILL);
+      std::_Exit(33);
+    };
+  }
+
+  const core::FabricWorkerOutcome outcome = core::run_fabric_worker(options);
+  std::cout << "worker " << options.name << ": " << outcome.units << " unit(s), "
+            << outcome.trials << " trial(s)"
+            << (outcome.drained ? " (drained by coordinator)" : "") << "\n";
+  return 0;
+}
+
 int run_request_command_impl(int argc, char** argv) {
   std::string socket_path;
   std::string op = "sweep";
   std::string json_path;
+  std::uint64_t connect_timeout_ms = 5000;
   core::ScenarioSpec spec;
   spec.schedule.max_trials = 100;
   for (int i = 2; i < argc; ++i) {
@@ -996,6 +1205,8 @@ int run_request_command_impl(int argc, char** argv) {
     }
     if (arg == "--socket" && (value = next())) {
       socket_path = *value;
+    } else if (arg == "--connect-timeout-ms" && (value = next())) {
+      if (!u64_flag(*value, "--connect-timeout-ms", connect_timeout_ms)) return 2;
     } else if (arg == "--op" && (value = next())) {
       op = *value;
     } else if (arg == "--json" && (value = next())) {
@@ -1044,7 +1255,12 @@ int run_request_command_impl(int argc, char** argv) {
   }
   json.end_object();
 
-  support::UnixStream stream = support::UnixStream::connect(socket_path);
+  // A request that raced its daemon's startup used to need a caller-side
+  // poll loop; connect_with_retry rides out the ENOENT / ECONNREFUSED
+  // window with bounded backoff instead, and throws (-> exit 1) only once
+  // --connect-timeout-ms has elapsed with nothing listening.
+  support::UnixStream stream = support::Stream::connect_with_retry(
+      support::parse_endpoint(socket_path), static_cast<long>(connect_timeout_ms));
   if (!stream.write_line(json.str())) {
     std::cerr << "cannot send request to " << socket_path << "\n";
     return 1;
@@ -1124,6 +1340,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "request") == 0) {
     return run_guarded(run_request_command_impl, argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "fabric-serve") == 0) {
+    return run_guarded(run_fabric_serve_command_impl, argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "fabric-worker") == 0) {
+    return run_guarded(run_fabric_worker_command_impl, argc, argv);
   }
   return run_single_guarded(argc, argv);
 }

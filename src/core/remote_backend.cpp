@@ -1,0 +1,47 @@
+#include "core/remote_backend.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace avglocal::core {
+
+RemoteBackend::RemoteBackend(const ScenarioSpec& spec, const FabricOptions& options)
+    : resolved_(resolve_scenario(spec)), coordinator_(resolved_, options) {}
+
+void RemoteBackend::start() { coordinator_.start(); }
+
+RemoteSweepOutcome RemoteBackend::run(ResultCache* cache) {
+  coordinator_.run();
+
+  RemoteSweepOutcome outcome;
+  outcome.stats = coordinator_.stats();
+  outcome.complete = coordinator_.complete();
+  if (!outcome.complete) return outcome;  // drained before the last unit
+
+  std::vector<PointAccumulator> merged = merge_unit_results(
+      coordinator_.work_units(), coordinator_.take_unit_results(), resolved_.spec.ns.size());
+
+  // Finalize exactly as run_scenario does: floats appear only here, in
+  // global trial order, so the report below matches the monolithic one
+  // byte for byte.
+  const TrialSchedule& schedule = resolved_.spec.schedule;
+  outcome.result.spec = resolved_.spec;
+  outcome.result.points.reserve(merged.size());
+  for (const PointAccumulator& acc : merged) {
+    ScenarioPoint point;
+    point.converged = true;  // fixed schedules always run to their count
+    point.point = finalize_point(acc, resolved_.sweep_options(acc.trial_count()));
+    point.half_width = schedule.half_width(point.point.avg_sd, acc.trial_count());
+    outcome.result.points.push_back(std::move(point));
+  }
+  outcome.report = sweep_report_json(outcome.result.spec, outcome.result.points);
+
+  if (cache != nullptr) {
+    // Remote-computed partials are as good as local ones: land them in
+    // the resident cache so follow-up requests for this workload are warm.
+    cache->offer_partials(resolved_.spec, std::move(merged));
+  }
+  return outcome;
+}
+
+}  // namespace avglocal::core

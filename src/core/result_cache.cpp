@@ -156,6 +156,36 @@ ResultCacheOutcome ResultCache::sweep(const ScenarioSpec& spec) {
   return outcome;
 }
 
+bool ResultCache::offer_partials(const ScenarioSpec& spec,
+                                 std::vector<PointAccumulator> partials) {
+  ResolvedScenario resolved = resolve_scenario(spec);
+  if (resolved.spec.schedule.adaptive()) return false;
+  const std::string key = scenario_cache_key(resolved.spec);
+  const std::vector<std::size_t> ns = resolved.spec.ns;
+
+  // Shape check before anything is trusted: one accumulator per point,
+  // each starting at trial 0, all covering the same range - the exact
+  // invariant entry.partials maintains for locally computed trials.
+  if (partials.size() != ns.size() || partials.empty()) return false;
+  const std::size_t covered = partials.front().trial_count();
+  if (covered == 0) return false;
+  for (std::size_t index = 0; index < partials.size(); ++index) {
+    if (partials[index].point_index != index || partials[index].n != ns[index] ||
+        partials[index].trial_begin != 0 || partials[index].trial_count() != covered) {
+      return false;
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_for(key, std::move(resolved));
+  stats_.entries = entries_.size();
+  const std::size_t cached =
+      entry.partials.empty() ? 0 : entry.partials.front().trial_count();
+  if (covered <= cached) return false;  // nothing the cache doesn't have
+  entry.partials = std::move(partials);
+  return true;
+}
+
 ResultCacheStats ResultCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

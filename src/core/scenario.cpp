@@ -387,4 +387,13 @@ std::vector<PointAccumulator> run_scenario_shard(const ResolvedScenario& resolve
   return partials;
 }
 
+SweepPlanMeta scenario_plan_meta(const ResolvedScenario& resolved) {
+  SweepPlanMeta meta = SweepPlanMeta::from_options(resolved.spec.ns, resolved.sweep_options());
+  meta.algorithm = resolved.spec.algorithm;
+  meta.graph = graph::family_spec_to_string(resolved.spec.family);
+  meta.scenario = scenario_to_json(resolved.spec);
+  meta.engine = resolved.spec.engine;
+  return meta;
+}
+
 }  // namespace avglocal::core

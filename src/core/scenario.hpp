@@ -194,4 +194,14 @@ std::vector<PointAccumulator> run_scenario_shard(const ResolvedScenario& resolve
                                                  const BatchedSweepOptions& options,
                                                  const SweepShard& shard);
 
+/// The plan header a resolved scenario's shard artefacts carry: the
+/// numeric plan from sweep_options() plus the workload labels (algorithm,
+/// graph family, canonical scenario block, engine). Every producer of
+/// scenario-level artefacts - `sweep --shard`, fabric workers - and every
+/// consumer that validates them (merge, the fabric coordinator) builds the
+/// expected meta through this one helper, so the equality check in
+/// merge_shards compares like with like. Execution knobs (threads, batch)
+/// are not part of the meta; they never change results.
+SweepPlanMeta scenario_plan_meta(const ResolvedScenario& resolved);
+
 }  // namespace avglocal::core

@@ -2,7 +2,6 @@
 
 #include <sys/socket.h>
 
-#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -118,11 +117,7 @@ void Server::serve_connection(support::UnixStream stream, ClientSlot* slot) {
     }
   }
   slot->fd.store(-1, std::memory_order_relaxed);
-  {
-    const std::lock_guard<std::mutex> lock(slots_mutex_);
-    slot->done.store(true, std::memory_order_release);
-  }
-  slot_freed_.notify_all();
+  slot->done.store(true, std::memory_order_release);
 }
 
 void Server::reap_finished_slots_locked() {
@@ -145,14 +140,15 @@ void Server::run() {
 
     std::unique_lock<std::mutex> lock(slots_mutex_);
     reap_finished_slots_locked();
-    while (slots_.size() >= options_.max_clients && !stopping()) {
-      // Timed wait: request_stop() is signal-handler-safe and therefore
-      // cannot notify this condition variable, so a stop that lands while
-      // every slot is busy must still be observed promptly.
-      slot_freed_.wait_for(lock, std::chrono::milliseconds(50));
-      reap_finished_slots_locked();
+    if (slots_.size() >= options_.max_clients) {
+      // Every slot is taken. Tell the client so instead of dropping the
+      // connection on the floor: an explicit busy line lets it back off
+      // and retry, where a silent close is indistinguishable from a
+      // crashed daemon.
+      lock.unlock();
+      stream.write_line(error_reply("busy"));
+      continue;
     }
-    if (stopping()) break;
 
     auto slot = std::make_unique<ClientSlot>();
     ClientSlot* raw = slot.get();

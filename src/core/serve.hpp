@@ -19,16 +19,17 @@
 // {"ok":false,"error":"..."} and the connection stays open.
 //
 // Concurrency: one handler thread per connection (at most
-// ServeOptions::max_clients at once; further accepts wait for a free
-// slot), all funnelling into the shared ResultCache, which serialises
-// sweeps internally. Shutdown - via the shutdown op or request_stop(),
+// ServeOptions::max_clients at once; a connection accepted while every
+// slot is taken gets one {"ok":false,"error":"busy"} line and is closed,
+// so clients see an explicit reply to retry on, never a silent drop), all
+// funnelling into the shared ResultCache, which serialises sweeps
+// internally. Shutdown - via the shutdown op or request_stop(),
 // which is async-signal-safe for SIGTERM handlers - interrupts the accept
 // loop, half-closes idle connections (in-flight responses still flush)
 // and joins every handler before run() returns.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,7 +47,8 @@ struct ServeOptions {
   std::size_t threads = 0;
   /// ResultCacheOptions::batch_size for cache-run sweeps.
   std::size_t batch_size = 0;
-  /// Concurrent connections served at once; later accepts queue.
+  /// Concurrent connections served at once; a connection beyond this gets
+  /// a {"ok":false,"error":"busy"} reply and is closed.
   std::size_t max_clients = 16;
 };
 
@@ -106,7 +108,6 @@ class Server {
   std::atomic<bool> stop_{false};
 
   std::mutex slots_mutex_;
-  std::condition_variable slot_freed_;
   std::vector<std::unique_ptr<ClientSlot>> slots_;
 };
 

@@ -94,6 +94,11 @@ TEST(CliFlagParsing, MalformedNumericFlagsExitTwoAndNameTheFlag) {
       {"drive --retries 1e3 --ns 64", "--retries", "1e3"},
       {"serve --socket /tmp/x.sock --max-clients none", "--max-clients", "none"},
       {"request --socket /tmp/x.sock --trials '' ", "--trials", ""},
+      {"fabric-serve --listen unix:/tmp/x.sock --straggler-ms soon --ns 64", "--straggler-ms",
+       "soon"},
+      {"fabric-serve --listen unix:/tmp/x.sock --unit-trials -4 --ns 64", "--unit-trials", "-4"},
+      {"fabric-worker --connect unix:/tmp/x.sock --connect-timeout-ms never",
+       "--connect-timeout-ms", "never"},
   };
   for (const BadFlagCase& c : cases) {
     const RunResult result = run_command(cli() + " " + c.args);
@@ -170,6 +175,107 @@ TEST(CliDrive, GivesUpCleanlyWhenRetriesAreExhausted) {
   // No report file: the drive failed before the merge.
   std::ifstream missing(report);
   EXPECT_FALSE(missing.good());
+}
+
+// ------------------------------------------------------- fabric processes ----
+
+/// The monolithic reference report for the fabric tests' shared workload.
+std::string fabric_reference(const ScratchDir& dir) {
+  const std::string path = dir.path() + "/mono.json";
+  const RunResult result = run_command(
+      cli() + " sweep --algo largest-id --graph cycle --ns 64,128 --trials 40 --seed 5 --json '" +
+      path + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  return read_file(path);
+}
+
+/// Writes a shell script into the scratch dir and runs it (quoting-proof
+/// for the multi-process orchestration the fabric tests need). The
+/// script sees CLI, DIR and SOCK pre-set.
+RunResult run_script(const ScratchDir& dir, const std::string& body) {
+  const std::string path = dir.path() + "/script.sh";
+  std::ofstream file(path);
+  file << "CLI='" << cli() << "'\nDIR='" << dir.path() << "'\nSOCK=\"unix:$DIR/fab.sock\"\n"
+       << body;
+  file.close();
+  return run_command("sh '" + path + "'");
+}
+
+/// fabric-serve with the shared workload (backgrounded as $serve).
+const char* const kServeLine =
+    "$CLI fabric-serve --listen \"$SOCK\" --algo largest-id --graph cycle --ns 64,128"
+    " --trials 40 --seed 5 --unit-trials 4 --json \"$DIR/fabric.json\""
+    " > \"$DIR/serve.log\" 2>&1 &\nserve=$!\n";
+
+std::string worker_line(const std::string& name) {
+  return "$CLI fabric-worker --connect \"$SOCK\" --name " + name + " --threads 1 > \"$DIR/" +
+         name + ".log\" 2>&1";
+}
+
+TEST(CliFabric, ThreeWorkersMatchTheMonolithicSweepByteForByte) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string reference = fabric_reference(dir);
+
+  // No sleeps anywhere: the workers' connect retries ride out the
+  // coordinator's bind window.
+  const RunResult result = run_script(dir, std::string(kServeLine) + worker_line("w1") + " &\n" +
+                                               worker_line("w2") + " &\n" + worker_line("w3") +
+                                               " &\nwait $serve");
+  EXPECT_EQ(result.exit_code, 0) << result.output << read_file(dir.path() + "/serve.log");
+  EXPECT_EQ(read_file(dir.path() + "/fabric.json"), reference);
+  // How many of the three connected before the sweep ran out of units is
+  // timing (a fast pair can drain it first); at least one must have.
+  const std::string serve_log = read_file(dir.path() + "/serve.log");
+  EXPECT_EQ(serve_log.find(" 0 worker(s)"), std::string::npos) << serve_log;
+}
+
+TEST(CliFabric, WorkerKilledMidUnitIsRedispatchedAndMergesIdentically) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string reference = fabric_reference(dir);
+
+  // The casualty worker starts alone, so it certainly receives a grant;
+  // its injected SIGKILL fires mid-unit (after the grant, before any
+  // artefact). The healthy worker only starts once the marker file proves
+  // the casualty was granted - from there the coordinator must release
+  // the orphaned unit and re-dispatch it.
+  const RunResult result = run_script(
+      dir, std::string(kServeLine) +
+               "AVGLOCAL_TEST_FAIL_MARKER=\"$DIR/marker\" AVGLOCAL_TEST_FAIL_MODE=kill " +
+               worker_line("w1") + " &\n" +
+               "until [ -e \"$DIR/marker.worker-w1\" ]; do sleep 0.05; done\n" +
+               worker_line("w2") + " &\nwait $serve");
+  EXPECT_EQ(result.exit_code, 0) << result.output << read_file(dir.path() + "/serve.log");
+  EXPECT_EQ(read_file(dir.path() + "/fabric.json"), reference);
+
+  const std::string serve_log = read_file(dir.path() + "/serve.log");
+  EXPECT_EQ(serve_log.find(" 0 re-dispatch(es)"), std::string::npos) << serve_log;
+  EXPECT_NE(serve_log.find("re-dispatch(es)"), std::string::npos) << serve_log;
+}
+
+TEST(CliFabric, SigtermDrainsCoordinatorAndWorkerCleanly) {
+  ScratchDir dir;
+  ASSERT_FALSE(dir.path().empty());
+
+  // A sweep far too large to finish: the coordinator dies by SIGTERM with
+  // units still pending, the worker sees the half-closed connection as an
+  // orderly drain (exit 0), never a crash.
+  const RunResult result = run_script(
+      dir,
+      "$CLI fabric-serve --listen \"$SOCK\" --algo largest-id --graph cycle --ns 4096"
+      " --trials 100000 --unit-trials 20 > \"$DIR/serve.log\" 2>&1 &\nserve=$!\n" +
+          worker_line("w1") + " &\nworker=$!\n" +
+          "sleep 1\nkill -TERM $serve\n"
+          "wait $serve; serve_status=$?\n"
+          "wait $worker; worker_status=$?\n"
+          "echo serve_status=$serve_status worker_status=$worker_status\n");
+  EXPECT_NE(result.output.find("serve_status=1"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("worker_status=0"), std::string::npos) << result.output;
+  const std::string serve_log = read_file(dir.path() + "/serve.log");
+  EXPECT_NE(serve_log.find("stopped before completion"), std::string::npos) << serve_log;
+  const std::string worker_log = read_file(dir.path() + "/w1.log");
+  EXPECT_NE(worker_log.find("drained by coordinator"), std::string::npos) << worker_log;
 }
 
 }  // namespace

@@ -132,6 +132,29 @@ TEST(LintFixtures, CheckedNarrowingAndWideningStayLegal) {
   EXPECT_TRUE(lint_fixture("narrowing_index_clean.cpp").empty());
 }
 
+TEST(LintFixtures, ArrivalOrderDependenceFires) {
+  const auto diags = lint_fixture("core/arrival_order_fire.cpp");
+  ASSERT_EQ(diags.size(), 4u) << "client_slot, arrival_rank, session_id, slot_index";
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, "arrival-order-dependence");
+}
+
+TEST(LintFixtures, UnitIdIndexedMergeStaysLegal) {
+  // Merging by unit id is the sanctioned shape; connection bookkeeping
+  // outside merge-like functions is none of this check's business.
+  EXPECT_TRUE(lint_fixture("core/arrival_order_clean.cpp").empty());
+}
+
+TEST(LintFixtures, ArrivalOrderOutsideCoreStaysLegal) {
+  // The check is scoped to core/ paths: the same tokens elsewhere are
+  // silent (servers legitimately track slots; only result merges are
+  // constrained).
+  const SourceFile f = lex("src/support/probe.cpp",
+                           "unsigned merge_totals(unsigned client_slot) {\n"
+                           "  return client_slot;\n"
+                           "}\n");
+  EXPECT_TRUE(run_checks(f, {"arrival-order-dependence"}).empty());
+}
+
 TEST(LintFixtures, AllowCommentSuppressesBothPlacements) {
   EXPECT_TRUE(lint_fixture("suppression.cpp").empty());
 }
@@ -258,6 +281,7 @@ TEST(LintChecks, FireFixturesFireOnlyTheirOwnCheck) {
       {"hot_path_alloc_fire.cpp", "hot-path-alloc"},
       {"thread_id_fire.cpp", "thread-id-dependence"},
       {"narrowing_index_fire.cpp", "narrowing-index"},
+      {"core/arrival_order_fire.cpp", "arrival-order-dependence"},
   };
   for (const auto& [fixture, check] : cases) {
     for (const std::string& name : check_names(lint_fixture(fixture))) {

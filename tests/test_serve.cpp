@@ -11,6 +11,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
@@ -356,6 +357,88 @@ TEST(Server, RequestStopInterruptsABlockedAcceptLoop) {
   server.request_stop();
   accept_thread.join();
   EXPECT_NE(::access(socket_path.c_str(), F_OK), 0);
+  ::rmdir(dir_template);
+}
+
+TEST(Server, FullSlotTableRepliesBusyInsteadOfSilentlyDropping) {
+  char dir_template[] = "/tmp/avglocal-serve-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string socket_path = std::string(dir_template) + "/daemon.sock";
+
+  core::ServeOptions options;
+  options.socket_path = socket_path;
+  options.max_clients = 1;
+  core::Server server(options);
+  server.start();
+  std::thread accept_thread([&server] { server.run(); });
+
+  // The first client pins the only slot; the ping round-trip guarantees
+  // its handler is live before anyone else knocks.
+  support::UnixStream holder = support::UnixStream::connect(socket_path);
+  std::string line;
+  ASSERT_TRUE(holder.write_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(holder.read_line(line));
+
+  // The second connection must get an explicit busy error, then EOF - a
+  // reply to back off on, not a silent drop.
+  {
+    support::UnixStream rejected = support::UnixStream::connect(socket_path);
+    ASSERT_TRUE(rejected.read_line(line));
+    const support::JsonValue reply = support::parse_json(line);
+    EXPECT_FALSE(reply.at("ok").as_bool());
+    EXPECT_EQ(reply.at("error").as_string(), "busy");
+    EXPECT_FALSE(rejected.read_line(line));  // closed right after the reply
+  }
+
+  // Once the holder leaves its slot is reaped on the next accept, so a
+  // retrying client eventually gets a real handler again. Busy lines in
+  // between are expected - that is the whole point of the reply.
+  holder.close();
+  for (;;) {
+    support::UnixStream retry = support::UnixStream::connect(socket_path);
+    ASSERT_TRUE(retry.write_line("{\"op\":\"ping\"}"));
+    ASSERT_TRUE(retry.read_line(line));
+    const support::JsonValue reply = support::parse_json(line);
+    if (reply.at("ok").as_bool()) break;  // a freed slot served the ping
+    EXPECT_EQ(reply.at("error").as_string(), "busy");
+  }
+
+  server.request_stop();
+  accept_thread.join();
+  ::rmdir(dir_template);
+}
+
+TEST(Stream, ConnectWithRetryOutwaitsADaemonStillBinding) {
+  char dir_template[] = "/tmp/avglocal-serve-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string socket_path = std::string(dir_template) + "/daemon.sock";
+  const support::Endpoint endpoint = support::parse_endpoint(socket_path);
+
+  // The daemon-startup race, reproduced deterministically: the listener
+  // appears only after the client has already started connecting. The
+  // bounded-backoff retry must ride out the ENOENT window.
+  std::thread late_binder([&socket_path] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    support::UnixListener listener = support::UnixListener::bind(socket_path);
+    support::UnixStream peer = listener.accept_client();
+    std::string line;
+    ASSERT_TRUE(peer.read_line(line));
+    ASSERT_TRUE(peer.write_line(line));  // echo, proving a usable stream
+  });
+
+  support::UnixStream stream = support::Stream::connect_with_retry(endpoint, 5000);
+  ASSERT_TRUE(stream.valid());
+  ASSERT_TRUE(stream.write_line("hello"));
+  std::string echoed;
+  ASSERT_TRUE(stream.read_line(echoed));
+  EXPECT_EQ(echoed, "hello");
+  late_binder.join();
+
+  // Nothing ever binds here: the retry window closes and throws instead
+  // of spinning forever.
+  const support::Endpoint absent =
+      support::parse_endpoint(std::string(dir_template) + "/nobody.sock");
+  EXPECT_THROW((void)support::Stream::connect_with_retry(absent, 150), std::runtime_error);
   ::rmdir(dir_template);
 }
 

@@ -168,6 +168,18 @@ bool in_merge_context(const std::vector<FunctionSpan>& spans, std::size_t i) {
                     [](const FunctionSpan& s) { return s.name == "merge" || s.name == "append"; });
 }
 
+/// Merge-like spans for the arrival-order check: wider than
+/// in_merge_context's exact names, because the fabric grew merge_*,
+/// *_append and accumulate_* helpers that combine partials under other
+/// names - any function that merges is in scope.
+bool in_merge_like_context(const std::vector<FunctionSpan>& spans, std::size_t i) {
+  return inside_any(spans, i, [](const FunctionSpan& s) {
+    return s.name.find("merge") != std::string::npos ||
+           s.name.find("append") != std::string::npos ||
+           s.name.find("accumulate") != std::string::npos;
+  });
+}
+
 // ------------------------------------------------------------------------
 // Reporter plumbing.
 // ------------------------------------------------------------------------
@@ -466,6 +478,42 @@ void check_narrowing_index(const SourceFile& file, const std::vector<FunctionSpa
   }
 }
 
+// ------------------------------------------------------------------------
+// Check 7: arrival-order-dependence (merge/append/accumulate bodies under
+// src/core must never consult connection/arrival identity).
+// ------------------------------------------------------------------------
+
+void check_arrival_order(const SourceFile& file, const std::vector<FunctionSpan>& spans,
+                         std::vector<Diagnostic>& out) {
+  if (!path_contains(file.path, "core/")) return;
+  Reporter r(file, "arrival-order-dependence", out);
+
+  // Names that identify WHO delivered a partial or WHEN it arrived. The
+  // fabric's determinism rule is that merges index by unit/shard id only:
+  // branching a merge on any of these makes the output depend on worker
+  // count, socket accept order or straggler timing.
+  static const std::unordered_set<std::string> kArrivalIdentity = {
+      "client_id",     "client_index", "client_slot",  "connection_id", "connection_index",
+      "session_id",    "session_index", "accept_index", "accept_order", "worker_id",
+  };
+
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& text = toks[i].text;
+    const bool arrivalish = kArrivalIdentity.count(text) != 0 ||
+                            text.find("slot") != std::string::npos ||
+                            text.find("arrival") != std::string::npos;
+    if (!arrivalish) continue;
+    if (!in_merge_like_context(spans, i)) continue;
+    r.report(toks[i],
+             "'" + text + "' inside a merge/append/accumulate path under core/: "
+             "connection/arrival identity is schedule-dependent, so merges must index "
+             "accepted partials by unit/shard id only - never by which connection "
+             "delivered them or when");
+  }
+}
+
 }  // namespace
 
 const std::vector<CheckInfo>& all_checks() {
@@ -485,6 +533,9 @@ const std::vector<CheckInfo>& all_checks() {
       {"narrowing-index",
        "raw static_cast to a 32-bit vertex/arc index type outside support/narrow.* "
        "(use checked_u32 / checked_narrow)"},
+      {"arrival-order-dependence",
+       "connection/arrival identity (client/session/slot/arrival names) inside "
+       "merge/append/accumulate bodies under src/core (merges index by unit id only)"},
   };
   return kChecks;
 }
@@ -508,6 +559,7 @@ std::vector<Diagnostic> run_checks(const SourceFile& file, const std::set<std::s
   if (on("hot-path-alloc")) check_hot_path_alloc(file, spans, out);
   if (on("thread-id-dependence")) check_thread_id(file, spans, out);
   if (on("narrowing-index")) check_narrowing_index(file, spans, out);
+  if (on("arrival-order-dependence")) check_arrival_order(file, spans, out);
 
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.line != b.line) return a.line < b.line;

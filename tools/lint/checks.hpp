@@ -32,6 +32,13 @@
 //                          silent 64->32 truncation a correctness bug, so
 //                          every narrowing goes through the assert-checked
 //                          checked_u32 / checked_narrow helpers
+//   arrival-order-dependence  connection/arrival identity (client_id,
+//                          session_id, *slot*, *arrival*, worker_id, ...)
+//                          inside merge/append/accumulate bodies under
+//                          src/core - the fabric's merge rule is "index
+//                          accepted partials by unit id only", so which
+//                          socket delivered a partial, in what accept
+//                          order, must never steer how it is combined
 //
 // Suppression: `// avglocal-lint: allow(check-name)` on the same or the
 // preceding line. Every suppression is visible in review - there are no

@@ -1,0 +1,26 @@
+// Fixture (core/ path): the legal shape - merges index accepted partials
+// by unit id (position in the pre-planned decomposition), and connection
+// bookkeeping lives outside merge-like functions entirely.
+// Expected: 0 diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Partial {
+  std::uint64_t sum = 0;
+};
+
+struct Merged {
+  std::vector<std::uint64_t> by_unit;
+  std::uint64_t total = 0;
+
+  void merge_unit(const Partial& p, std::size_t unit_id) {
+    by_unit[unit_id] += p.sum;
+    total += p.sum;
+  }
+};
+
+// Connection bookkeeping is fine where no merging happens.
+std::size_t pick_slot(std::size_t client_slot, std::size_t slot_count) {
+  return client_slot % slot_count;
+}

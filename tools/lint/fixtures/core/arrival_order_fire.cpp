@@ -1,0 +1,26 @@
+// Fixture (core/ path: in scope for arrival-order-dependence): merges
+// keyed by which connection delivered the partial, or when - worker
+// count and socket accept order leak straight into the result.
+// Expected: 4 arrival-order-dependence diagnostics (client_slot,
+// arrival_rank, session_id, slot_index - each used once in a body).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Partial {
+  std::uint64_t sum = 0;
+};
+
+struct Merged {
+  std::vector<std::uint64_t> by_source;
+  std::uint64_t total = 0;
+
+  void merge_result(const Partial& p, std::size_t client_slot, std::uint64_t arrival_rank) {
+    by_source[client_slot] += p.sum;
+    total += p.sum * (arrival_rank + 1);
+  }
+
+  void append_from(const Partial& p, std::uint64_t session_id) { total += p.sum ^ session_id; }
+
+  void accumulate_unit(const Partial& p, std::size_t slot_index) { by_source[slot_index] += p.sum; }
+};
